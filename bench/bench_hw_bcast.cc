@@ -1,0 +1,60 @@
+// Extension benchmark — hardware broadcast vs point-to-point binomial tree.
+//
+// The paper's §4.1 explains why hardware broadcast needs the global virtual
+// address space (and why dynamically joined processes lose it); LA-MPI's
+// broadcast work over Quadrics [33] is the lineage. This bench shows the
+// payoff the mechanism exists for: switch replication makes the cost nearly
+// independent of fan-out, while the software tree grows with log2(n).
+#include "common.h"
+
+namespace {
+
+using namespace oqs;
+using namespace oqs::bench;
+
+double bcast_us(int nprocs, std::size_t bytes, bool hw) {
+  Bed bed;
+  double us = 0;
+  bed.rt->launch(nprocs, [&](rte::Env& env) {
+    mpi::World w(env, *bed.net);
+    auto& c = w.comm();
+    std::vector<std::uint8_t> buf(bytes, 1);
+    mpi::HwBcastGroup group(c, w, bytes + 64);
+    c.barrier();
+    const sim::Time t0 = bed.engine.now();
+    constexpr int kIters = 40;
+    for (int i = 0; i < kIters; ++i) {
+      if (hw)
+        group.bcast(buf.data(), bytes, 0);
+      else
+        c.bcast(buf.data(), bytes, dtype::byte_type(), 0);
+    }
+    c.barrier();
+    if (c.rank() == 0) us = sim::to_us(bed.engine.now() - t0) / kIters;
+  });
+  bed.engine.run();
+  return us;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Hardware vs software broadcast, 1KB payload (us per bcast)\n");
+  std::printf("%-8s %14s %14s\n", "procs", "hw-bcast", "binomial-p2p");
+  for (int n : {2, 4, 8})
+    std::printf("%-8d %14.2f %14.2f\n", n, bcast_us(n, 1024, true),
+                bcast_us(n, 1024, false));
+
+  std::printf("\nHardware vs software broadcast on 8 procs (us per bcast)\n");
+  std::printf("%-8s %14s %14s\n", "bytes", "hw-bcast", "binomial-p2p");
+  for (std::size_t s : {64ul, 1024ul, 16384ul, 131072ul})
+    std::printf("%-8zu %14.2f %14.2f\n", s, bcast_us(8, s, true),
+                bcast_us(8, s, false));
+
+  std::printf(
+      "\nExpected: hardware broadcast nearly flat in fan-out; at trivial "
+      "fan-out (n=2) the staging copies make it lose to a single eager send, "
+      "but beyond that it beats the ~log2(n) software tree, and the "
+      "advantage grows with payload.\n");
+  return 0;
+}

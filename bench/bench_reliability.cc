@@ -1,0 +1,69 @@
+// Extension benchmark — the price and payoff of end-to-end reliability
+// (LA-MPI heritage; Open MPI's §3 fault-tolerance objective).
+//
+// Left: what CRC32C framing + verified rendezvous payloads cost on a clean
+// wire. Right: delivered goodput as wire corruption rises — retransmission
+// and re-read recovery keep the channel correct at degrading speed.
+#include "common.h"
+
+namespace {
+
+using namespace oqs;
+using namespace oqs::bench;
+
+double goodput_mbps(double corruption, std::size_t bytes, int count) {
+  mpi::Options opts;
+  opts.elan4.reliability = true;
+  opts.elan4.max_data_retries = 50;
+  Bed bed;
+  if (corruption > 0) bed.net->set_corruption(corruption, /*seed=*/99);
+  double mbps = 0;
+  bed.rt->launch(2, [&](rte::Env& env) {
+    mpi::World w(env, *bed.net, opts);
+    auto& c = w.comm();
+    std::vector<std::uint8_t> buf(bytes, 5);
+    c.barrier();
+    const sim::Time t0 = bed.engine.now();
+    if (c.rank() == 0) {
+      for (int i = 0; i < count; ++i)
+        c.send(buf.data(), bytes, dtype::byte_type(), 1, 0);
+      std::uint8_t tok = 0;
+      c.recv(&tok, 1, dtype::byte_type(), 1, 1);
+      mbps = static_cast<double>(bytes) * count /
+             sim::to_us(bed.engine.now() - t0);
+    } else {
+      for (int i = 0; i < count; ++i)
+        c.recv(buf.data(), bytes, dtype::byte_type(), 0, 0);
+      std::uint8_t tok = 1;
+      c.send(&tok, 1, dtype::byte_type(), 0, 1);
+    }
+    c.barrier();
+  });
+  bed.engine.run();
+  return mbps;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reliability overhead on a clean wire (one-way latency, us)\n");
+  std::printf("%-10s %12s %12s\n", "size", "off", "on");
+  for (std::size_t s : {4ul, 1024ul, 4096ul, 65536ul}) {
+    mpi::Options off;
+    mpi::Options on;
+    on.elan4.reliability = true;
+    std::printf("%-10zu %12.2f %12.2f\n", s, ompi_pingpong_us(s, off, {}, 150),
+                ompi_pingpong_us(s, on, {}, 150));
+  }
+
+  std::printf("\nGoodput under wire corruption (16KB messages, MB/s)\n");
+  std::printf("%-14s %12s\n", "corrupt-rate", "goodput");
+  for (double p : {0.0, 0.005, 0.02, 0.05}) {
+    std::printf("%-14.3f %12.2f\n", p, goodput_mbps(p, 16384, 48));
+  }
+  std::printf(
+      "\nExpected: checksums cost a fixed slice per message (growing with "
+      "size at the CRC rate); goodput degrades smoothly with corruption "
+      "while every byte still arrives intact (tests assert integrity).\n");
+  return 0;
+}

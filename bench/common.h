@@ -1,0 +1,313 @@
+// Shared measurement harness for the paper-reproduction benchmarks.
+//
+// Each measurement builds a fresh simulated testbed (the paper's 8-node
+// QsNetII cluster), runs the workload to completion, and reports simulated
+// time. Results are deterministic: the same build prints the same numbers.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "openqs.h"
+
+namespace oqs::bench {
+
+// Paper methodology: "the first 100 iterations are used to warm up".
+inline constexpr int kWarmup = 100;
+inline constexpr int kIters = 400;
+
+struct Bed {
+  sim::Engine engine;
+  ModelParams params;
+  std::unique_ptr<elan4::QsNet> net;
+  std::unique_ptr<rte::Runtime> rt;
+
+  explicit Bed(int nodes = 8, int rails = 1, ModelParams p = {}) : params(p) {
+    net = std::make_unique<elan4::QsNet>(engine, params, nodes, 64, rails);
+    rt = std::make_unique<rte::Runtime>(engine, *net);
+  }
+};
+
+// One-way ping-pong latency (us) over the Open MPI stack.
+inline double ompi_pingpong_us(std::size_t bytes, mpi::Options opts,
+                               ModelParams params = {}, int iters = kIters,
+                               int rails = 1) {
+  Bed bed(8, rails, params);
+  double us = 0;
+  auto body = [&](mpi::World& w) {
+    auto& c = w.comm();
+    std::vector<std::uint8_t> buf(bytes, 0x42);
+    std::vector<std::uint8_t> tmp(bytes);
+    auto once = [&] {
+      if (c.rank() == 0) {
+        c.send(buf.data(), bytes, dtype::byte_type(), 1, 0);
+        c.recv(tmp.data(), bytes, dtype::byte_type(), 1, 0);
+      } else {
+        c.recv(tmp.data(), bytes, dtype::byte_type(), 0, 0);
+        c.send(tmp.data(), bytes, dtype::byte_type(), 0, 0);
+      }
+    };
+    for (int i = 0; i < kWarmup; ++i) once();
+    c.barrier();
+    const sim::Time t0 = bed.engine.now();
+    for (int i = 0; i < iters; ++i) once();
+    if (c.rank() == 0)
+      us = sim::to_us(bed.engine.now() - t0) / (2.0 * iters);
+    c.barrier();
+  };
+  auto shared = std::make_shared<decltype(body)>(std::move(body));
+  bed.rt->launch(2, [&bed, shared, opts](rte::Env& env) {
+    mpi::World w(env, *bed.net, opts);
+    (*shared)(w);
+  });
+  bed.engine.run();
+  return us;
+}
+
+// Unidirectional streaming bandwidth (MB/s) over the Open MPI stack.
+inline double ompi_bandwidth_mbps(std::size_t bytes, mpi::Options opts,
+                                  ModelParams params = {}, int window = 32,
+                                  int rounds = 8, int rails = 1) {
+  Bed bed(8, rails, params);
+  double mbps = 0;
+  auto body = [&](mpi::World& w) {
+    auto& c = w.comm();
+    std::vector<std::vector<std::uint8_t>> bufs(
+        static_cast<std::size_t>(window), std::vector<std::uint8_t>(bytes, 7));
+    auto round = [&] {
+      std::vector<mpi::Request> reqs;
+      for (int i = 0; i < window; ++i) {
+        auto& b = bufs[static_cast<std::size_t>(i)];
+        if (c.rank() == 0)
+          reqs.push_back(c.isend(b.data(), bytes, dtype::byte_type(), 1, 0));
+        else
+          reqs.push_back(c.irecv(b.data(), bytes, dtype::byte_type(), 0, 0));
+      }
+      for (auto& r : reqs) r.wait();
+      // Window ack keeps the sender from running away.
+      std::uint8_t tok = 1;
+      if (c.rank() == 0)
+        c.recv(&tok, 1, dtype::byte_type(), 1, 1);
+      else
+        c.send(&tok, 1, dtype::byte_type(), 0, 1);
+    };
+    round();  // warm up
+    c.barrier();
+    const sim::Time t0 = bed.engine.now();
+    for (int r = 0; r < rounds; ++r) round();
+    if (c.rank() == 0) {
+      const double us = sim::to_us(bed.engine.now() - t0);
+      mbps = static_cast<double>(bytes) * window * rounds / us;
+    }
+    c.barrier();
+  };
+  auto shared = std::make_shared<decltype(body)>(std::move(body));
+  bed.rt->launch(2, [&bed, shared, opts](rte::Env& env) {
+    mpi::World w(env, *bed.net, opts);
+    (*shared)(w);
+  });
+  bed.engine.run();
+  return mbps;
+}
+
+// Streaming bandwidth with blocking sends (the classic stream test: send
+// back-to-back, each completing before the next posts; one final token).
+// This is the methodology that exposes the rendezvous handshake in the
+// mid-range (Fig. 10c/d).
+inline double ompi_stream_mbps(std::size_t bytes, mpi::Options opts,
+                               ModelParams params = {}, int count = 48) {
+  Bed bed(8, 1, params);
+  double mbps = 0;
+  auto body = [&](mpi::World& w) {
+    auto& c = w.comm();
+    std::vector<std::uint8_t> buf(bytes, 9);
+    auto burst = [&](int n) {
+      if (c.rank() == 0) {
+        for (int i = 0; i < n; ++i)
+          c.send(buf.data(), bytes, dtype::byte_type(), 1, 0);
+        std::uint8_t tok = 0;
+        c.recv(&tok, 1, dtype::byte_type(), 1, 1);
+      } else {
+        for (int i = 0; i < n; ++i)
+          c.recv(buf.data(), bytes, dtype::byte_type(), 0, 0);
+        std::uint8_t tok = 1;
+        c.send(&tok, 1, dtype::byte_type(), 0, 1);
+      }
+    };
+    burst(8);  // warm up
+    c.barrier();
+    const sim::Time t0 = bed.engine.now();
+    burst(count);
+    if (c.rank() == 0)
+      mbps = static_cast<double>(bytes) * count / sim::to_us(bed.engine.now() - t0);
+    c.barrier();
+  };
+  auto shared = std::make_shared<decltype(body)>(std::move(body));
+  bed.rt->launch(2, [&bed, shared, opts](rte::Env& env) {
+    mpi::World w(env, *bed.net, opts);
+    (*shared)(w);
+  });
+  bed.engine.run();
+  return mbps;
+}
+
+inline double mpich_stream_mbps(std::size_t bytes, ModelParams params = {},
+                                int count = 48) {
+  Bed bed(8, 1, params);
+  tport::TportDomain domain(*bed.net);
+  double mbps = 0;
+  bed.rt->launch(2, [&](rte::Env& env) {
+    mpich::MpichWorld w(env, domain);
+    std::vector<std::uint8_t> buf(bytes, 9);
+    auto burst = [&](int n) {
+      if (w.rank() == 0) {
+        for (int i = 0; i < n; ++i) w.send(buf.data(), bytes, 1, 0);
+        std::uint8_t tok = 0;
+        w.recv(&tok, 1, 1, 1);
+      } else {
+        for (int i = 0; i < n; ++i) w.recv(buf.data(), bytes, 0, 0);
+        std::uint8_t tok = 1;
+        w.send(&tok, 1, 0, 1);
+      }
+    };
+    burst(8);
+    w.barrier();
+    const sim::Time t0 = bed.engine.now();
+    burst(count);
+    if (w.rank() == 0)
+      mbps = static_cast<double>(bytes) * count / sim::to_us(bed.engine.now() - t0);
+    w.barrier();
+  });
+  bed.engine.run();
+  return mbps;
+}
+
+// One-way ping-pong latency (us) over the MPICH-QsNetII baseline.
+inline double mpich_pingpong_us(std::size_t bytes, ModelParams params = {},
+                                int iters = kIters) {
+  Bed bed(8, 1, params);
+  tport::TportDomain domain(*bed.net);
+  double us = 0;
+  bed.rt->launch(2, [&](rte::Env& env) {
+    mpich::MpichWorld w(env, domain);
+    std::vector<std::uint8_t> buf(bytes, 0x42);
+    std::vector<std::uint8_t> tmp(bytes);
+    auto once = [&] {
+      if (w.rank() == 0) {
+        w.send(buf.data(), bytes, 1, 0);
+        w.recv(tmp.data(), bytes, 1, 0);
+      } else {
+        w.recv(tmp.data(), bytes, 0, 0);
+        w.send(tmp.data(), bytes, 0, 0);
+      }
+    };
+    for (int i = 0; i < kWarmup; ++i) once();
+    w.barrier();
+    const sim::Time t0 = bed.engine.now();
+    for (int i = 0; i < iters; ++i) once();
+    if (w.rank() == 0) us = sim::to_us(bed.engine.now() - t0) / (2.0 * iters);
+    w.barrier();
+  });
+  bed.engine.run();
+  return us;
+}
+
+// Unidirectional streaming bandwidth (MB/s) over MPICH-QsNetII.
+inline double mpich_bandwidth_mbps(std::size_t bytes, ModelParams params = {},
+                                   int window = 32, int rounds = 8) {
+  Bed bed(8, 1, params);
+  tport::TportDomain domain(*bed.net);
+  double mbps = 0;
+  bed.rt->launch(2, [&](rte::Env& env) {
+    mpich::MpichWorld w(env, domain);
+    std::vector<std::vector<std::uint8_t>> bufs(
+        static_cast<std::size_t>(window), std::vector<std::uint8_t>(bytes, 7));
+    auto round = [&] {
+      if (w.rank() == 0) {
+        std::vector<tport::Tport::TxReq*> txs;
+        for (int i = 0; i < window; ++i)
+          txs.push_back(w.isend(bufs[static_cast<std::size_t>(i)].data(), bytes, 1, 0));
+        for (auto* t : txs) w.wait(t);
+        std::uint8_t tok = 0;
+        w.recv(&tok, 1, 1, 1);
+      } else {
+        std::vector<tport::Tport::RxReq*> rxs;
+        for (int i = 0; i < window; ++i)
+          rxs.push_back(w.irecv(bufs[static_cast<std::size_t>(i)].data(), bytes, 0, 0));
+        for (auto* r : rxs) w.wait(r);
+        std::uint8_t tok = 1;
+        w.send(&tok, 1, 0, 1);
+      }
+    };
+    round();
+    w.barrier();
+    const sim::Time t0 = bed.engine.now();
+    for (int r = 0; r < rounds; ++r) round();
+    if (w.rank() == 0) {
+      const double us = sim::to_us(bed.engine.now() - t0);
+      mbps = static_cast<double>(bytes) * window * rounds / us;
+    }
+    w.barrier();
+  });
+  bed.engine.run();
+  return mbps;
+}
+
+// Native QDMA one-way latency (us) for a `bytes` message (Fig. 9 reference).
+inline double native_qdma_us(std::size_t bytes, ModelParams params = {},
+                             int iters = kIters) {
+  Bed bed(2, 1, params);
+  auto d0 = bed.net->open(0);
+  auto d1 = bed.net->open(1);
+  elan4::QdmaQueue* q0 = nullptr;
+  elan4::QdmaQueue* q1 = nullptr;
+  double us = 0;
+  bed.engine.spawn("qdma-bench", [&] {
+    q0 = d0->create_queue(1024);
+    q1 = d1->create_queue(1024);
+    std::vector<std::uint8_t> msg(bytes, 0x5A);
+    elan4::QdmaQueue::Slot slot;
+    auto rtt = [&] {
+      d0->post_qdma(d1->vpid(), q1->id(), msg);
+      while (!d1->queue_poll(q1, &slot)) {
+      }
+      d1->post_qdma(d0->vpid(), q0->id(), slot.data);
+      while (!d0->queue_poll(q0, &slot)) {
+      }
+    };
+    for (int i = 0; i < kWarmup; ++i) rtt();
+    const sim::Time t0 = bed.engine.now();
+    for (int i = 0; i < iters; ++i) rtt();
+    us = sim::to_us(bed.engine.now() - t0) / (2.0 * iters);
+  });
+  bed.engine.run();
+  return us;
+}
+
+// -------- reporting helpers --------
+
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& columns) {
+  std::printf("\n%s\n", title.c_str());
+  for (std::size_t i = 0; i < title.size(); ++i) std::printf("=");
+  std::printf("\n%-10s", "size");
+  for (const auto& c : columns) std::printf(" %14s", c.c_str());
+  std::printf("\n");
+}
+
+inline void print_row(std::size_t size, const std::vector<double>& values) {
+  std::printf("%-10zu", size);
+  for (double v : values) std::printf(" %14.2f", v);
+  std::printf("\n");
+}
+
+inline std::string size_label(std::size_t s) {
+  if (s >= (1u << 20) && s % (1u << 20) == 0) return std::to_string(s >> 20) + "M";
+  if (s >= 1024 && s % 1024 == 0) return std::to_string(s >> 10) + "K";
+  return std::to_string(s);
+}
+
+}  // namespace oqs::bench

@@ -1,0 +1,29 @@
+#include "base/checksum.h"
+
+#include <array>
+
+namespace oqs {
+
+namespace {
+constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected CRC32C
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    t[i] = crc;
+  }
+  return t;
+}
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < len; ++i) crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xffu];
+  return ~crc;
+}
+
+}  // namespace oqs

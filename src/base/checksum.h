@@ -1,0 +1,15 @@
+// CRC32C (Castagnoli) checksum, table-driven.
+//
+// LA-MPI heritage: Open MPI's end-to-end reliable delivery checksums every
+// fragment. We use the same mechanism so corruption-injection tests can
+// verify the retransmission path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oqs {
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace oqs

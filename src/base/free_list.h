@@ -1,0 +1,66 @@
+// Grow-on-demand object pool.
+//
+// Mirrors Open MPI's ompi_free_list: fragments and descriptors are recycled
+// rather than heap-allocated per message. Objects are default-constructed
+// once and handed out repeatedly; callers must re-initialize per use.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace oqs {
+
+template <typename T>
+class FreeList {
+ public:
+  // `initial` objects are created eagerly; the pool grows by `grow` objects
+  // when exhausted, up to `max` total (0 = unbounded).
+  explicit FreeList(std::size_t initial = 8, std::size_t grow = 8, std::size_t max = 0)
+      : grow_(grow == 0 ? 1 : grow), max_(max) {
+    reserve(initial);
+  }
+
+  T* get() {
+    if (free_.empty()) {
+      if (max_ != 0 && total_ >= max_) return nullptr;
+      std::size_t want = grow_;
+      if (max_ != 0 && total_ + want > max_) want = max_ - total_;
+      reserve(want);
+      if (free_.empty()) return nullptr;
+    }
+    T* t = free_.back();
+    free_.pop_back();
+    ++outstanding_;
+    return t;
+  }
+
+  void put(T* t) {
+    assert(t != nullptr);
+    assert(outstanding_ > 0);
+    --outstanding_;
+    free_.push_back(t);
+  }
+
+  std::size_t total() const { return total_; }
+  std::size_t outstanding() const { return outstanding_; }
+
+ private:
+  void reserve(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      slabs_.push_back(std::make_unique<T>());
+      free_.push_back(slabs_.back().get());
+      ++total_;
+    }
+  }
+
+  std::vector<std::unique_ptr<T>> slabs_;
+  std::vector<T*> free_;
+  std::size_t grow_;
+  std::size_t max_;
+  std::size_t total_ = 0;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace oqs

@@ -1,0 +1,135 @@
+// Intrusive doubly-linked list.
+//
+// Open MPI's opal_list is the workhorse container of the PML/PTL layers
+// (pending sends, match lists, unexpected queues); we mirror it so list
+// membership never allocates on the critical path.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+
+namespace oqs {
+
+// Derive from ListItem (possibly several times via distinct tags) to be
+// linkable. An item may be on at most one IntrusiveList per tag at a time.
+template <typename Tag = void>
+class ListItem {
+ public:
+  ListItem() = default;
+  ListItem(const ListItem&) = delete;
+  ListItem& operator=(const ListItem&) = delete;
+  ~ListItem() { assert(!linked() && "destroying item still on a list"); }
+
+  bool linked() const { return next_ != nullptr; }
+
+ private:
+  template <typename T, typename G>
+  friend class IntrusiveList;
+  ListItem* prev_ = nullptr;
+  ListItem* next_ = nullptr;
+};
+
+template <typename T, typename Tag = void>
+class IntrusiveList {
+  using Item = ListItem<Tag>;
+
+ public:
+  IntrusiveList() { head_.prev_ = head_.next_ = &head_; }
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+  ~IntrusiveList() {
+    clear();
+    // Disarm the sentinel so its own destructor check passes.
+    head_.prev_ = head_.next_ = nullptr;
+  }
+
+  bool empty() const { return head_.next_ == &head_; }
+  std::size_t size() const { return size_; }
+
+  void push_back(T& t) { insert_before(&head_, &item(t)); }
+  void push_front(T& t) { insert_before(head_.next_, &item(t)); }
+
+  T& front() {
+    assert(!empty());
+    return value(head_.next_);
+  }
+  T& back() {
+    assert(!empty());
+    return value(head_.prev_);
+  }
+
+  T* pop_front() {
+    if (empty()) return nullptr;
+    T& t = front();
+    erase(t);
+    return &t;
+  }
+
+  void erase(T& t) {
+    Item* it = &item(t);
+    assert(it->linked());
+    it->prev_->next_ = it->next_;
+    it->next_->prev_ = it->prev_;
+    it->prev_ = it->next_ = nullptr;
+    --size_;
+  }
+
+  void clear() {
+    while (!empty()) erase(front());
+  }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = T*;
+    using reference = T&;
+    explicit iterator(Item* p) : p_(p) {}
+    T& operator*() const { return IntrusiveList::value(p_); }
+    T* operator->() const { return &IntrusiveList::value(p_); }
+    iterator& operator++() {
+      p_ = p_->next_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const iterator& o) const { return p_ == o.p_; }
+
+   private:
+    friend class IntrusiveList;
+    Item* p_;
+  };
+
+  iterator begin() { return iterator(head_.next_); }
+  iterator end() { return iterator(&head_); }
+
+  // Removes the element at `it`; returns an iterator to the next element.
+  iterator erase(iterator it) {
+    iterator next(it.p_->next_);
+    erase(value(it.p_));
+    return next;
+  }
+
+ private:
+  static Item& item(T& t) { return static_cast<Item&>(t); }
+  static T& value(Item* it) { return static_cast<T&>(*it); }
+
+  void insert_before(Item* pos, Item* it) {
+    assert(!it->linked());
+    it->prev_ = pos->prev_;
+    it->next_ = pos;
+    pos->prev_->next_ = it;
+    pos->prev_ = it;
+    ++size_;
+  }
+
+  Item head_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace oqs

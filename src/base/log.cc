@@ -1,0 +1,63 @@
+#include "base/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace oqs::log {
+
+namespace {
+Level g_level = [] {
+  if (const char* env = std::getenv("OQS_LOG")) {
+    std::string_view v(env);
+    if (v == "trace") return Level::kTrace;
+    if (v == "debug") return Level::kDebug;
+    if (v == "info") return Level::kInfo;
+    if (v == "warn") return Level::kWarn;
+    if (v == "error") return Level::kError;
+    if (v == "off") return Level::kOff;
+  }
+  return Level::kWarn;
+}();
+std::function<std::uint64_t()> g_clock;
+
+const char* name(Level lv) {
+  switch (lv) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+Level level() { return g_level; }
+void set_level(Level lv) { g_level = lv; }
+
+void set_level(std::string_view v) {
+  if (v == "trace") g_level = Level::kTrace;
+  else if (v == "debug") g_level = Level::kDebug;
+  else if (v == "info") g_level = Level::kInfo;
+  else if (v == "warn") g_level = Level::kWarn;
+  else if (v == "error") g_level = Level::kError;
+  else if (v == "off") g_level = Level::kOff;
+}
+
+void set_clock(std::function<std::uint64_t()> now_ns) { g_clock = std::move(now_ns); }
+
+void write(Level lv, std::string_view tag, std::string_view msg) {
+  if (g_clock) {
+    const std::uint64_t ns = g_clock();
+    std::fprintf(stderr, "[%12.3fus] %s %.*s: %.*s\n", static_cast<double>(ns) / 1e3,
+                 name(lv), static_cast<int>(tag.size()), tag.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  } else {
+    std::fprintf(stderr, "[    --    ] %s %.*s: %.*s\n", name(lv),
+                 static_cast<int>(tag.size()), tag.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  }
+}
+
+}  // namespace oqs::log

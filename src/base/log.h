@@ -1,0 +1,64 @@
+// Minimal leveled logger.
+//
+// The simulation engine registers a clock hook so every line is stamped with
+// simulated time; components log under a subsystem tag ("elan4", "pml", ...).
+// Logging defaults to kWarn so tests and benches stay quiet; set
+// OQS_LOG=debug (or call set_level) to trace protocol flows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace oqs::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+Level level();
+void set_level(Level lv);
+// Parses "trace|debug|info|warn|error|off"; unknown strings keep the default.
+void set_level(std::string_view name);
+
+// The sim engine installs this so messages carry simulated nanoseconds.
+void set_clock(std::function<std::uint64_t()> now_ns);
+
+void write(Level lv, std::string_view tag, std::string_view msg);
+
+namespace detail {
+template <typename... Args>
+std::string format(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void trace(std::string_view tag, Args&&... args) {
+  if (level() <= Level::kTrace)
+    write(Level::kTrace, tag, detail::format(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void debug(std::string_view tag, Args&&... args) {
+  if (level() <= Level::kDebug)
+    write(Level::kDebug, tag, detail::format(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void info(std::string_view tag, Args&&... args) {
+  if (level() <= Level::kInfo)
+    write(Level::kInfo, tag, detail::format(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void warn(std::string_view tag, Args&&... args) {
+  if (level() <= Level::kWarn)
+    write(Level::kWarn, tag, detail::format(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void error(std::string_view tag, Args&&... args) {
+  if (level() <= Level::kError)
+    write(Level::kError, tag, detail::format(std::forward<Args>(args)...));
+}
+
+}  // namespace oqs::log

@@ -1,0 +1,44 @@
+// Status codes used across the openqs stack.
+//
+// Open MPI uses OMPI_SUCCESS / OMPI_ERR_* integer codes; we mirror that with
+// a scoped enum so call sites cannot confuse a status with a byte count.
+#pragma once
+
+#include <string_view>
+
+namespace oqs {
+
+enum class Status {
+  kOk = 0,
+  kError,            // unspecified failure
+  kOutOfResource,    // no free slot / buffer / context
+  kBadParam,         // caller error
+  kNotFound,         // lookup miss (context, peer, mapping)
+  kTruncate,         // receive buffer smaller than incoming message
+  kUnreachable,      // no route / peer not wired up
+  kNotSupported,     // operation not provided by this component
+  kWouldBlock,       // non-blocking op could not complete
+  kFault,            // simulated MMU / translation fault
+  kShutdown,         // component is finalizing; no new traffic accepted
+};
+
+constexpr std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kError: return "ERROR";
+    case Status::kOutOfResource: return "OUT_OF_RESOURCE";
+    case Status::kBadParam: return "BAD_PARAM";
+    case Status::kNotFound: return "NOT_FOUND";
+    case Status::kTruncate: return "TRUNCATE";
+    case Status::kUnreachable: return "UNREACHABLE";
+    case Status::kNotSupported: return "NOT_SUPPORTED";
+    case Status::kWouldBlock: return "WOULD_BLOCK";
+    case Status::kFault: return "FAULT";
+    case Status::kShutdown: return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+constexpr bool ok(Status s) { return s == Status::kOk; }
+
+}  // namespace oqs

@@ -1,0 +1,152 @@
+#include "dtype/datatype.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace oqs::dtype {
+
+Datatype::Datatype(std::string name, std::vector<Segment> segs, std::size_t extent)
+    : name_(std::move(name)), segments_(coalesce(std::move(segs))), extent_(extent) {
+  size_ = 0;
+  for (const Segment& s : segments_) size_ += s.length;
+  assert(segments_.empty() || segments_.back().offset + segments_.back().length <= extent_);
+}
+
+std::vector<Datatype::Segment> Datatype::coalesce(std::vector<Segment> segs) {
+  std::erase_if(segs, [](const Segment& s) { return s.length == 0; });
+  std::sort(segs.begin(), segs.end(),
+            [](const Segment& a, const Segment& b) { return a.offset < b.offset; });
+  std::vector<Segment> out;
+  for (const Segment& s : segs) {
+    if (!out.empty() && out.back().offset + out.back().length == s.offset)
+      out.back().length += s.length;
+    else
+      out.push_back(s);
+  }
+  return out;
+}
+
+DatatypePtr Datatype::builtin(std::size_t size, std::string name) {
+  assert(size > 0);
+  return DatatypePtr(new Datatype(std::move(name), {{0, size}}, size));
+}
+
+DatatypePtr Datatype::contiguous(std::size_t count, const DatatypePtr& t) {
+  std::vector<Segment> segs;
+  for (std::size_t i = 0; i < count; ++i)
+    for (const Segment& s : t->segments())
+      segs.push_back({i * t->extent() + s.offset, s.length});
+  return DatatypePtr(new Datatype("contig(" + std::to_string(count) + "," + t->name() + ")",
+                                  std::move(segs), count * t->extent()));
+}
+
+DatatypePtr Datatype::vec(std::size_t count, std::size_t blocklen, std::size_t stride,
+                          const DatatypePtr& t) {
+  assert(stride >= blocklen && "overlapping vector blocks are not supported");
+  std::vector<Segment> segs;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t block_base = i * stride * t->extent();
+    for (std::size_t j = 0; j < blocklen; ++j)
+      for (const Segment& s : t->segments())
+        segs.push_back({block_base + j * t->extent() + s.offset, s.length});
+  }
+  // MPI extent of a vector: from first byte to last byte spanned.
+  const std::size_t extent =
+      count == 0 ? 0 : ((count - 1) * stride + blocklen) * t->extent();
+  return DatatypePtr(new Datatype(
+      "vector(" + std::to_string(count) + "x" + std::to_string(blocklen) + ")",
+      std::move(segs), extent));
+}
+
+DatatypePtr Datatype::indexed(
+    const std::vector<std::pair<std::size_t, std::size_t>>& blocks,
+    const DatatypePtr& t) {
+  std::vector<Segment> segs;
+  std::size_t extent = 0;
+  for (const auto& [disp, blocklen] : blocks) {
+    for (std::size_t j = 0; j < blocklen; ++j)
+      for (const Segment& s : t->segments())
+        segs.push_back({(disp + j) * t->extent() + s.offset, s.length});
+    extent = std::max(extent, (disp + blocklen) * t->extent());
+  }
+  return DatatypePtr(new Datatype("indexed(" + std::to_string(blocks.size()) + ")",
+                                  std::move(segs), extent));
+}
+
+DatatypePtr Datatype::structure(const std::vector<StructBlock>& blocks) {
+  std::vector<Segment> segs;
+  std::size_t extent = 0;
+  for (const StructBlock& b : blocks) {
+    for (std::size_t i = 0; i < b.count; ++i)
+      for (const Segment& s : b.type->segments())
+        segs.push_back({b.byte_offset + i * b.type->extent() + s.offset, s.length});
+    extent = std::max(extent, b.byte_offset + b.count * b.type->extent());
+  }
+  return DatatypePtr(new Datatype("struct(" + std::to_string(blocks.size()) + ")",
+                                  std::move(segs), extent));
+}
+
+DatatypePtr byte_type() {
+  static DatatypePtr t = Datatype::builtin(1, "byte");
+  return t;
+}
+DatatypePtr int_type() {
+  static DatatypePtr t = Datatype::builtin(4, "int");
+  return t;
+}
+DatatypePtr double_type() {
+  static DatatypePtr t = Datatype::builtin(8, "double");
+  return t;
+}
+
+Convertor::Convertor(DatatypePtr type, void* base, std::size_t count)
+    : type_(std::move(type)),
+      base_(static_cast<char*>(base)),
+      count_(count),
+      total_(type_->size() * count) {}
+
+void Convertor::rewind() {
+  elem_ = seg_ = seg_off_ = 0;
+  packed_ = 0;
+}
+
+template <bool kPack>
+std::size_t Convertor::advance(void* out, const void* in, std::size_t max_bytes) {
+  const auto& segs = type_->segments();
+  std::size_t moved = 0;
+  while (moved < max_bytes && elem_ < count_) {
+    if (seg_ >= segs.size()) {
+      ++elem_;
+      seg_ = 0;
+      seg_off_ = 0;
+      continue;
+    }
+    const Datatype::Segment& s = segs[seg_];
+    const std::size_t avail = s.length - seg_off_;
+    const std::size_t take = std::min(avail, max_bytes - moved);
+    char* user = base_ + elem_ * type_->extent() + s.offset + seg_off_;
+    if constexpr (kPack)
+      std::memcpy(static_cast<char*>(out) + moved, user, take);
+    else
+      std::memcpy(user, static_cast<const char*>(in) + moved, take);
+    moved += take;
+    seg_off_ += take;
+    if (seg_off_ == s.length) {
+      ++seg_;
+      seg_off_ = 0;
+    }
+  }
+  packed_ += moved;
+  return moved;
+}
+
+std::size_t Convertor::pack(void* out, std::size_t max_bytes) {
+  return advance<true>(out, nullptr, max_bytes);
+}
+
+std::size_t Convertor::unpack(const void* in, std::size_t max_bytes) {
+  return advance<false>(nullptr, in, max_bytes);
+}
+
+}  // namespace oqs::dtype

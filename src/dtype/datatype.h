@@ -1,0 +1,105 @@
+// MPI datatype engine.
+//
+// Open MPI ships a datatype component that packs/unpacks sophisticated
+// layouts through a convertor ("copy engine"); the paper measures its cost
+// at ~0.4us per request (Fig. 7) and ablates it against a plain memcpy.
+// Datatypes are immutable descriptions built by the MPI-style constructors
+// (contiguous / vector / indexed / struct); a Convertor walks the layout to
+// pack into or unpack from wire fragments at arbitrary byte boundaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace oqs::dtype {
+
+class Datatype;
+using DatatypePtr = std::shared_ptr<const Datatype>;
+
+class Datatype {
+ public:
+  // One contiguous piece of an element, relative to the element base.
+  struct Segment {
+    std::size_t offset;
+    std::size_t length;
+  };
+
+  // --- Constructors (MPI_Type_* analogues) ---
+  static DatatypePtr builtin(std::size_t size, std::string name);
+  static DatatypePtr contiguous(std::size_t count, const DatatypePtr& t);
+  // `stride` is in elements of t (MPI_Type_vector semantics).
+  static DatatypePtr vec(std::size_t count, std::size_t blocklen, std::size_t stride,
+                         const DatatypePtr& t);
+  // blocks of (displacement in elements of t, blocklen in elements).
+  static DatatypePtr indexed(const std::vector<std::pair<std::size_t, std::size_t>>& blocks,
+                             const DatatypePtr& t);
+  // blocks of (byte displacement, count, type) — MPI_Type_create_struct.
+  struct StructBlock {
+    std::size_t byte_offset;
+    std::size_t count;
+    DatatypePtr type;
+  };
+  static DatatypePtr structure(const std::vector<StructBlock>& blocks);
+
+  const std::string& name() const { return name_; }
+  // Packed size of one element (bytes of real data).
+  std::size_t size() const { return size_; }
+  // Memory span of one element, including holes.
+  std::size_t extent() const { return extent_; }
+  bool is_contiguous() const {
+    return segments_.size() == 1 && segments_[0].offset == 0 && size_ == extent_;
+  }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  Datatype(std::string name, std::vector<Segment> segs, std::size_t extent);
+  static std::vector<Segment> coalesce(std::vector<Segment> segs);
+
+  std::string name_;
+  std::vector<Segment> segments_;  // sorted by offset, non-overlapping
+  std::size_t size_;
+  std::size_t extent_;
+};
+
+// Common builtins.
+DatatypePtr byte_type();    // 1 byte
+DatatypePtr int_type();     // 4 bytes
+DatatypePtr double_type();  // 8 bytes
+
+// The copy engine: packs `count` elements at `base` into wire order, or
+// unpacks wire bytes back, resumable at any byte boundary (fragments).
+class Convertor {
+ public:
+  Convertor(DatatypePtr type, void* base, std::size_t count);
+
+  std::size_t total_bytes() const { return total_; }
+  std::size_t position() const { return packed_; }
+  bool finished() const { return packed_ >= total_; }
+
+  // Copy up to max_bytes of remaining data into out; returns bytes copied.
+  std::size_t pack(void* out, std::size_t max_bytes);
+  // Copy bytes of wire data into the user buffer; returns bytes consumed.
+  std::size_t unpack(const void* in, std::size_t max_bytes);
+
+  void rewind();
+
+ private:
+  template <bool kPack>
+  std::size_t advance(void* out, const void* in, std::size_t max_bytes);
+
+  DatatypePtr type_;
+  char* base_;
+  std::size_t count_;
+  std::size_t total_;
+  // Cursor: element index, segment index within element, offset into segment.
+  std::size_t elem_ = 0;
+  std::size_t seg_ = 0;
+  std::size_t seg_off_ = 0;
+  std::size_t packed_ = 0;
+};
+
+}  // namespace oqs::dtype

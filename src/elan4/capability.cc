@@ -1,0 +1,51 @@
+#include "elan4/capability.h"
+
+#include <cassert>
+
+namespace oqs::elan4 {
+
+SystemCapability::SystemCapability(int num_nodes, int contexts_per_node)
+    : num_nodes_(num_nodes), contexts_per_node_(contexts_per_node) {
+  assert(num_nodes >= 1 && contexts_per_node >= 1);
+  claimed_.assign(static_cast<std::size_t>(num_nodes) * contexts_per_node, false);
+}
+
+Vpid SystemCapability::claim(int node) {
+  assert(node >= 0 && node < num_nodes_);
+  const int base = node * contexts_per_node_;
+  for (int c = 0; c < contexts_per_node_; ++c) {
+    if (!claimed_[static_cast<std::size_t>(base + c)]) {
+      claimed_[static_cast<std::size_t>(base + c)] = true;
+      ++live_;
+      return static_cast<Vpid>(base + c);
+    }
+  }
+  return kInvalidVpid;
+}
+
+Status SystemCapability::release(Vpid vpid) {
+  const int i = index_of(vpid);
+  if (i < 0 || i >= static_cast<int>(claimed_.size()) || !claimed_[static_cast<std::size_t>(i)])
+    return Status::kBadParam;
+  claimed_[static_cast<std::size_t>(i)] = false;
+  --live_;
+  return Status::kOk;
+}
+
+bool SystemCapability::is_live(Vpid vpid) const {
+  const int i = index_of(vpid);
+  return i >= 0 && i < static_cast<int>(claimed_.size()) &&
+         claimed_[static_cast<std::size_t>(i)];
+}
+
+int SystemCapability::node_of(Vpid vpid) const {
+  assert(is_live(vpid));
+  return index_of(vpid) / contexts_per_node_;
+}
+
+ContextId SystemCapability::context_of(Vpid vpid) const {
+  assert(is_live(vpid));
+  return index_of(vpid) % contexts_per_node_;
+}
+
+}  // namespace oqs::elan4

@@ -1,0 +1,46 @@
+// System-wide Elan4 capability with dynamic context claiming.
+//
+// Stock libelan allocates a static pool: every process gets a VPID at job
+// start and membership never changes. The paper's PTL instead lets a process
+// "join the Quadrics network dynamically and individually by claiming an
+// available context in a system-wide Elan4 capability" (§5). This class is
+// that capability: a table of (node, context) slots; claiming one yields a
+// VPID, releasing it returns the slot for reuse (checkpoint/restart,
+// MPI-2 spawn).
+#pragma once
+
+#include <vector>
+
+#include "base/status.h"
+#include "elan4/e4_types.h"
+
+namespace oqs::elan4 {
+
+class SystemCapability {
+ public:
+  SystemCapability(int num_nodes, int contexts_per_node);
+
+  int num_nodes() const { return num_nodes_; }
+  int contexts_per_node() const { return contexts_per_node_; }
+
+  // Claim any free context on `node`; returns the VPID or kInvalidVpid when
+  // the node's contexts are exhausted.
+  Vpid claim(int node);
+  // Release a previously claimed VPID. Idempotent release is an error.
+  Status release(Vpid vpid);
+
+  bool is_live(Vpid vpid) const;
+  int node_of(Vpid vpid) const;
+  ContextId context_of(Vpid vpid) const;
+  int live_count() const { return live_; }
+
+ private:
+  int index_of(Vpid vpid) const { return static_cast<int>(vpid); }
+
+  int num_nodes_;
+  int contexts_per_node_;
+  std::vector<bool> claimed_;  // indexed by vpid = node * contexts + ctx
+  int live_ = 0;
+};
+
+}  // namespace oqs::elan4

@@ -1,0 +1,66 @@
+// NIC command descriptors.
+//
+// Hosts build these and post them to a NIC command queue (PIO); chained
+// events hold a prebuilt command that the NIC posts to itself on trigger.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "elan4/e4_types.h"
+
+namespace oqs::elan4 {
+
+class E4Event;
+
+// Queue-based DMA: deliver up to slot-size bytes into a remote receive
+// queue (paper: QDMA, messages up to 2 KB).
+struct QdmaCmd {
+  Vpid src_vpid = kInvalidVpid;
+  Vpid dest_vpid = kInvalidVpid;
+  int dest_queue = -1;
+  std::vector<std::uint8_t> data;
+  E4Event* local_event = nullptr;  // fired when the NIC has injected the packet
+  // Set on commands launched by a chained event: the descriptor is already
+  // resident in NIC memory, so it skips the host descriptor fetch.
+  bool preloaded = false;
+};
+
+// RDMA write: local [src, src+len) -> remote [dst, dst+len).
+struct RdmaWriteCmd {
+  Vpid src_vpid = kInvalidVpid;
+  Vpid dest_vpid = kInvalidVpid;
+  E4Addr src = kNullE4Addr;  // in the issuing context's MMU
+  E4Addr dst = kNullE4Addr;  // in the destination context's MMU
+  std::uint32_t len = 0;
+  E4Event* local_event = nullptr;   // fired on network-level completion ack
+  E4Event* remote_event = nullptr;  // fired at the destination NIC
+};
+
+// RDMA read: remote [src, src+len) -> local [dst, dst+len).
+struct RdmaReadCmd {
+  Vpid src_vpid = kInvalidVpid;   // issuing (reading) process
+  Vpid dest_vpid = kInvalidVpid;  // process whose memory is read
+  E4Addr src = kNullE4Addr;       // in the destination context's MMU
+  E4Addr dst = kNullE4Addr;       // in the issuing context's MMU
+  std::uint32_t len = 0;
+  E4Event* local_event = nullptr;  // fired when all data has landed locally
+};
+
+// Hardware broadcast: the fabric replicates the payload to every member of
+// a multicast group. Requires the global virtual address space — `addr`
+// must resolve in *every* member's context — and a symmetric event table
+// (`event_index` identifies the completion event in each context).
+struct HwBcastCmd {
+  Vpid src_vpid = kInvalidVpid;
+  std::vector<Vpid> group;  // members excluding the root
+  E4Addr addr = kNullE4Addr;
+  std::uint32_t len = 0;
+  int event_index = -1;            // fired in each member's context
+  E4Event* local_event = nullptr;  // fired at the root on injection
+};
+
+using Command = std::variant<QdmaCmd, RdmaWriteCmd, RdmaReadCmd, HwBcastCmd>;
+
+}  // namespace oqs::elan4

@@ -1,0 +1,140 @@
+#include "elan4/device.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/log.h"
+#include "elan4/qsnet.h"
+
+namespace oqs::elan4 {
+
+Elan4Device::Elan4Device(QsNet& net, int node, int rail, Vpid vpid)
+    : net_(net), node_(node), rail_(rail), vpid_(vpid),
+      ctx_(net.context_of(vpid)) {}
+
+Elan4Device::~Elan4Device() {
+  if (!closed_) close();
+}
+
+Elan4Nic& Elan4Device::nic() { return net_.nic(node_, rail_); }
+const ModelParams& Elan4Device::params() const { return net_.params(); }
+
+void Elan4Device::compute(sim::Time ns) { net_.node(node_).cpu().compute(ns); }
+
+E4Event* Elan4Device::alloc_event(std::string name) {
+  events_.push_back(std::make_unique<E4Event>(net_.engine(), params(), &nic(),
+                                              std::move(name)));
+  E4Event* ev = events_.back().get();
+  last_event_index_ = nic().register_event(ctx_, ev);
+  return ev;
+}
+
+E4Addr Elan4Device::map(void* host, std::size_t len) {
+  compute(params().nic_mmu_lookup_ns);  // host builds the page-table entry
+  return nic().mmu(ctx_).map(host, len);
+}
+
+Status Elan4Device::unmap(E4Addr addr) { return nic().mmu(ctx_).unmap(addr); }
+
+QdmaQueue* Elan4Device::create_queue(std::uint32_t num_slots, std::uint32_t slot_size) {
+  QdmaQueue* q = nic().create_queue(slot_size, num_slots);
+  my_queues_.push_back(q->id());
+  return q;
+}
+
+Status Elan4Device::destroy_queue(QdmaQueue* q) {
+  assert(q != nullptr);
+  std::erase(my_queues_, q->id());
+  return nic().destroy_queue(q->id());
+}
+
+Status Elan4Device::post_qdma(Vpid dest, int queue_id,
+                              std::span<const std::uint8_t> data,
+                              E4Event* local_event) {
+  if (closed_) return Status::kShutdown;
+  if (data.size() > 2048) return Status::kBadParam;  // QDMA hard limit
+  compute(params().host_qdma_post_ns);
+  QdmaCmd cmd;
+  cmd.src_vpid = vpid_;
+  cmd.dest_vpid = dest;
+  cmd.dest_queue = queue_id;
+  cmd.data.assign(data.begin(), data.end());
+  cmd.local_event = local_event;
+  nic().submit(std::move(cmd));
+  return Status::kOk;
+}
+
+bool Elan4Device::queue_poll(QdmaQueue* q, QdmaQueue::Slot* out) {
+  charge_poll();
+  return q->consume(out);
+}
+
+void Elan4Device::queue_wait(QdmaQueue* q) {
+  compute(params().host_event_wait_setup_ns);
+  q->wait_block();
+}
+
+Status Elan4Device::rdma_write(Vpid dest, E4Addr local_src, E4Addr remote_dst,
+                               std::uint32_t len, E4Event* local_event,
+                               E4Event* remote_event) {
+  if (closed_) return Status::kShutdown;
+  compute(params().host_rdma_post_ns);
+  RdmaWriteCmd cmd;
+  cmd.src_vpid = vpid_;
+  cmd.dest_vpid = dest;
+  cmd.src = local_src;
+  cmd.dst = remote_dst;
+  cmd.len = len;
+  cmd.local_event = local_event;
+  cmd.remote_event = remote_event;
+  nic().submit(std::move(cmd));
+  return Status::kOk;
+}
+
+Status Elan4Device::rdma_read(Vpid dest, E4Addr remote_src, E4Addr local_dst,
+                              std::uint32_t len, E4Event* local_event) {
+  if (closed_) return Status::kShutdown;
+  compute(params().host_rdma_post_ns);
+  RdmaReadCmd cmd;
+  cmd.src_vpid = vpid_;
+  cmd.dest_vpid = dest;
+  cmd.src = remote_src;
+  cmd.dst = local_dst;
+  cmd.len = len;
+  cmd.local_event = local_event;
+  nic().submit(std::move(cmd));
+  return Status::kOk;
+}
+
+Status Elan4Device::hw_broadcast(const std::vector<Vpid>& group, E4Addr addr,
+                                 std::uint32_t len, int event_index,
+                                 E4Event* local_event) {
+  if (closed_) return Status::kShutdown;
+  compute(params().host_rdma_post_ns);
+  HwBcastCmd cmd;
+  cmd.src_vpid = vpid_;
+  cmd.group = group;
+  cmd.addr = addr;
+  cmd.len = len;
+  cmd.event_index = event_index;
+  cmd.local_event = local_event;
+  nic().submit(std::move(cmd));
+  return Status::kOk;
+}
+
+void Elan4Device::charge_copy(std::size_t bytes) {
+  compute(params().host_memcpy_startup_ns +
+          ModelParams::xfer_ns(bytes, params().host_memcpy_mbps));
+}
+
+void Elan4Device::charge_poll() { compute(params().host_poll_ns); }
+
+void Elan4Device::close() {
+  if (closed_) return;
+  for (int id : my_queues_) nic().destroy_queue(id);
+  my_queues_.clear();
+  net_.capability().release(vpid_);
+  closed_ = true;
+}
+
+}  // namespace oqs::elan4

@@ -1,0 +1,103 @@
+// Host-process handle to an Elan4 NIC context — the libelan4 analogue.
+//
+// Every operation is called from a simulated process fiber and charges the
+// host software-path cost on that node's CPU before touching the NIC, so
+// host-side overheads show up in latency and contend for cores with
+// progress threads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/params.h"
+#include "base/status.h"
+#include "elan4/event.h"
+#include "elan4/nic.h"
+#include "elan4/qdma.h"
+
+namespace oqs::elan4 {
+
+class QsNet;
+
+class Elan4Device {
+ public:
+  Elan4Device(QsNet& net, int node, int rail, Vpid vpid);
+  ~Elan4Device();
+  Elan4Device(const Elan4Device&) = delete;
+  Elan4Device& operator=(const Elan4Device&) = delete;
+
+  QsNet& net() { return net_; }
+  int node() const { return node_; }
+  int rail() const { return rail_; }
+  Vpid vpid() const { return vpid_; }
+  ContextId context() const { return ctx_; }
+  Elan4Nic& nic();
+  const ModelParams& params() const;
+  bool closed() const { return closed_; }
+
+  // Charge host CPU time on this node (application or library work).
+  void compute(sim::Time ns);
+
+  // --- Events (allocated in "elan memory"; live until close()) ---
+  // Events are also registered in the NIC's per-context global event table;
+  // symmetric allocation order across processes yields matching indices.
+  E4Event* alloc_event(std::string name);
+  int last_event_index() const { return last_event_index_; }
+
+  // --- Memory registration ---
+  E4Addr map(void* host, std::size_t len);
+  Status unmap(E4Addr addr);
+
+  // --- QDMA ---
+  QdmaQueue* create_queue(std::uint32_t num_slots, std::uint32_t slot_size = 2048);
+  Status destroy_queue(QdmaQueue* q);
+  // Post up to slot_size bytes into (dest VPID, queue id).
+  Status post_qdma(Vpid dest, int queue_id, std::span<const std::uint8_t> data,
+                   E4Event* local_event = nullptr);
+  // Non-blocking poll of a local queue (charges one poll).
+  bool queue_poll(QdmaQueue* q, QdmaQueue::Slot* out);
+  // Block until the queue has a message (interrupt-driven wakeup).
+  void queue_wait(QdmaQueue* q);
+
+  // --- RDMA ---
+  Status rdma_write(Vpid dest, E4Addr local_src, E4Addr remote_dst,
+                    std::uint32_t len, E4Event* local_event,
+                    E4Event* remote_event = nullptr);
+  Status rdma_read(Vpid dest, E4Addr remote_src, E4Addr local_dst,
+                   std::uint32_t len, E4Event* local_event);
+
+  // Hardware broadcast: push [addr, addr+len) — which must resolve at the
+  // SAME E4 address in every group member's context (global virtual address
+  // space) — to all members; fires event #event_index in each member's
+  // context on arrival, and local_event at the root on injection.
+  Status hw_broadcast(const std::vector<Vpid>& group, E4Addr addr,
+                      std::uint32_t len, int event_index, E4Event* local_event);
+
+  // Charge a host memcpy of `bytes` (slot -> user buffer etc).
+  void charge_copy(std::size_t bytes);
+  // Charge one host event-word poll.
+  void charge_poll();
+
+  // Release the context back to the system capability. The caller is
+  // responsible for quiescing traffic first (paper §4.1: finalization only
+  // after pending messages complete, else a leftover DMA can regenerate
+  // traffic indefinitely).
+  void close();
+
+ private:
+  QsNet& net_;
+  int node_;
+  int rail_;
+  Vpid vpid_;
+  ContextId ctx_;
+  bool closed_ = false;
+  int last_event_index_ = -1;
+  std::deque<std::unique_ptr<E4Event>> events_;
+  std::vector<int> my_queues_;
+};
+
+}  // namespace oqs::elan4

@@ -1,0 +1,24 @@
+// Core Elan4 identifier types.
+#pragma once
+
+#include <cstdint>
+
+namespace oqs::elan4 {
+
+// NIC-visible virtual address (the paper's "E4_Addr"): RDMA descriptors must
+// present source/destination addresses in this format; the NIC MMU
+// translates them to host memory.
+using E4Addr = std::uint64_t;
+constexpr E4Addr kNullE4Addr = 0;
+
+// Quadrics virtual process id: network-level addressing. Decoupled from the
+// MPI rank (paper §4.1) — ranks are an MPI-communicator property, VPIDs are
+// a hardware-capability property.
+using Vpid = std::int32_t;
+constexpr Vpid kInvalidVpid = -1;
+
+// Hardware context within one NIC.
+using ContextId = std::int32_t;
+constexpr ContextId kInvalidContext = -1;
+
+}  // namespace oqs::elan4

@@ -1,0 +1,77 @@
+// The simulated testbed: nodes, QsNetII fabric, Elan4 NICs, and the
+// system-wide capability.
+//
+// Mirrors the paper's cluster: eight dual-Xeon nodes, one QS-8A switch,
+// one QM-500 Elan4 card per node (more rails on request for the multirail
+// extension).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "base/params.h"
+#include "elan4/capability.h"
+#include "elan4/nic.h"
+#include "net/ethernet.h"
+#include "net/fabric.h"
+#include "sim/engine.h"
+#include "sim/node.h"
+#include "sim/rng.h"
+
+namespace oqs::elan4 {
+
+class Elan4Device;
+
+class QsNet {
+ public:
+  QsNet(sim::Engine& engine, const ModelParams& params, int nodes,
+        int contexts_per_node = 64, int rails = 1);
+  ~QsNet();
+  QsNet(const QsNet&) = delete;
+  QsNet& operator=(const QsNet&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const ModelParams& params() const { return params_; }
+  net::Fabric& fabric() { return *fabric_; }
+  // The machine's management/TCP Ethernet (beside the QsNetII fabric).
+  net::EthNet& eth() { return *eth_; }
+  SystemCapability& capability() { return capability_; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_rails() const { return rails_; }
+  sim::Node& node(int id) { return *nodes_[static_cast<std::size_t>(id)]; }
+  Elan4Nic& nic(int node, int rail = 0) {
+    return *nics_[static_cast<std::size_t>(node * rails_ + rail)];
+  }
+
+  // Claim a context on `node` and open a device handle for the calling
+  // process (the dynamic-join operation of paper §4.1/§5). Returns nullptr
+  // when the node's contexts are exhausted.
+  std::unique_ptr<Elan4Device> open(int node, int rail = 0);
+
+  int node_of(Vpid vpid) const { return capability_.node_of(vpid); }
+  ContextId context_of(Vpid vpid) const { return capability_.context_of(vpid); }
+
+  // --- fault injection (reliability testing) ---
+  // With probability `prob`, each delivered payload gets one byte flipped
+  // (beyond any protected prefix). Deterministic per seed.
+  void set_corruption(double prob, std::uint64_t seed = 1);
+  // Called by NICs on landing data. Returns true if a byte was flipped.
+  bool maybe_corrupt(std::vector<std::uint8_t>& data, std::size_t protect_prefix);
+  std::uint64_t corruptions() const { return corruptions_; }
+
+ private:
+  sim::Engine& engine_;
+  ModelParams params_;
+  int rails_;
+  std::vector<std::unique_ptr<sim::Node>> nodes_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<net::EthNet> eth_;
+  std::vector<std::unique_ptr<Elan4Nic>> nics_;
+  SystemCapability capability_;
+  double corruption_prob_ = 0.0;
+  std::unique_ptr<sim::Rng> corruption_rng_;
+  std::uint64_t corruptions_ = 0;
+};
+
+}  // namespace oqs::elan4

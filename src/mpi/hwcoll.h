@@ -1,0 +1,65 @@
+// Hardware-collective component: broadcast via the Elite switches.
+//
+// The paper (§4.1) notes that Quadrics hardware broadcast requires the
+// global virtual address space, which only processes that joined the job
+// synchronously share — dynamically (re)joined processes cannot use it.
+// try_hw_bcast() makes that precondition concrete: it maps the buffer on
+// every rank, allgathers the resulting E4 addresses and event indices, and
+// uses the hardware path only when they all agree; otherwise it reports
+// false and the caller falls back to the point-to-point broadcast.
+#pragma once
+
+#include <cstddef>
+
+#include "mpi/mpi.h"
+
+namespace oqs::mpi {
+
+// Collective over `comm`. Returns true if the hardware broadcast ran (buf
+// on every non-root rank now holds root's bytes); false if the global-
+// address-space precondition failed and nothing was transferred.
+bool try_hw_bcast(Communicator& comm, World& world, void* buf, std::size_t len,
+                  int root);
+
+// Convenience: hardware path when possible, point-to-point otherwise.
+// Returns true when the hardware path was used.
+bool bcast_auto(Communicator& comm, World& world, void* buf, std::size_t len,
+                int root);
+
+// Persistent hardware-broadcast group, the way libelan set its collectives
+// up: the global staging buffer, completion events, and the address-space
+// verification happen once at creation; each bcast() is then a single
+// switch-replicated transfer. A ring of staging slots pipelines successive
+// rounds; a group barrier every kSlots rounds bounds the skew.
+class HwBcastGroup {
+ public:
+  // Collective. max_bytes bounds the per-broadcast payload.
+  HwBcastGroup(Communicator& comm, World& world, std::size_t max_bytes);
+  ~HwBcastGroup();
+  HwBcastGroup(const HwBcastGroup&) = delete;
+  HwBcastGroup& operator=(const HwBcastGroup&) = delete;
+
+  // False when the global virtual address space could not be established
+  // (asymmetric allocation histories); bcast() then must not be called.
+  bool valid() const { return valid_; }
+
+  // Collective broadcast of len <= max_bytes from root.
+  void bcast(void* buf, std::size_t len, int root);
+
+ private:
+  static constexpr int kSlots = 4;
+
+  Communicator& comm_;
+  elan4::Elan4Device* dev_ = nullptr;
+  std::size_t max_bytes_;
+  std::vector<std::uint8_t> staging_;
+  elan4::E4Addr staging_addr_ = elan4::kNullE4Addr;
+  elan4::E4Event* arrive_[kSlots] = {};
+  int arrive_index_[kSlots] = {};
+  elan4::E4Event* injected_ = nullptr;
+  std::vector<elan4::Vpid> vpids_;
+  bool valid_ = false;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace oqs::mpi

@@ -1,0 +1,521 @@
+#include "mpi/mpi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "base/log.h"
+#include "ptl/elan4/ptl_elan4.h"
+#include "ptl/tcp/ptl_tcp.h"
+
+namespace oqs::mpi {
+
+namespace {
+constexpr int kCollTagBase = 0x40000000;
+constexpr int kSpawnCtxBase = 0x1000;
+
+std::vector<std::uint8_t> serialize_contacts(const pml::ContactInfo& info) {
+  std::vector<std::uint8_t> out;
+  rte::put_pod(out, static_cast<std::int32_t>(info.size()));
+  for (const auto& [name, blob] : info) {
+    rte::put_pod(out, static_cast<std::int32_t>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+    rte::put_pod(out, static_cast<std::int32_t>(blob.size()));
+    out.insert(out.end(), blob.begin(), blob.end());
+  }
+  return out;
+}
+
+pml::ContactInfo deserialize_contacts(const std::vector<std::uint8_t>& in) {
+  pml::ContactInfo info;
+  std::size_t off = 0;
+  const int n = rte::get_pod<std::int32_t>(in, off);
+  for (int i = 0; i < n; ++i) {
+    const int name_len = rte::get_pod<std::int32_t>(in, off);
+    std::string name(reinterpret_cast<const char*>(in.data() + off),
+                     static_cast<std::size_t>(name_len));
+    off += static_cast<std::size_t>(name_len);
+    const int blob_len = rte::get_pod<std::int32_t>(in, off);
+    std::vector<std::uint8_t> blob(in.begin() + static_cast<std::ptrdiff_t>(off),
+                                   in.begin() + static_cast<std::ptrdiff_t>(off) +
+                                       blob_len);
+    off += static_cast<std::size_t>(blob_len);
+    info.emplace(std::move(name), std::move(blob));
+  }
+  return info;
+}
+}  // namespace
+
+void wait_all(std::vector<Request>& reqs) {
+  for (Request& r : reqs)
+    if (r.valid()) r.wait();
+}
+
+std::size_t wait_any(std::vector<Request>& reqs) {
+  assert(!reqs.empty());
+  World* w = nullptr;
+  for (;;) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (!reqs[i].valid()) continue;
+      w = reqs[i].world_;
+      if (reqs[i].req_->complete()) return i;
+    }
+    assert(w != nullptr && "wait_any on all-empty request set");
+    if (w->pml().progress() == 0)
+      w->pml().ctx().engine->sleep(w->pml().ctx().params->host_poll_ns);
+  }
+}
+
+// ------------------------------------------------------------ Request ----
+
+bool Request::test() {
+  if (!req_) return true;
+  if (!req_->complete()) world_->pml().progress();
+  return req_->complete();
+}
+
+void Request::wait(RecvStatus* st) {
+  assert(req_ && "wait on an empty request");
+  world_->pml().wait(*req_);
+  fill_status(st);
+}
+
+void Request::fill_status(RecvStatus* st) const {
+  if (st == nullptr) return;
+  st->status = req_->status();
+  st->bytes = req_->transferred();
+  if (req_->kind() == pml::Request::Kind::kRecv) {
+    const auto& rr = static_cast<const pml::RecvRequest&>(*req_);
+    if (rr.matched) {
+      st->source = rr.matched_hdr.src_rank;
+      st->tag = rr.matched_hdr.tag;
+    }
+  }
+}
+
+// ------------------------------------------------------- Communicator ----
+
+int Communicator::coll_tag() { return kCollTagBase + (coll_seq_++ & 0x0FFFFFFF); }
+
+void Communicator::send(const void* buf, std::size_t count,
+                        const dtype::DatatypePtr& type, int dst, int tag) {
+  auto& p = world_->pml();
+  p.ctx().compute(p.ctx().params->mpi_call_ns);
+  pml::SendRequest req(*p.ctx().engine, type, buf, count);
+  p.start_send(req, ctx_, rank_, dst, tag, gids_[static_cast<std::size_t>(dst)]);
+  p.wait(req);
+  assert(ok(req.status()) && "blocking send failed");
+}
+
+void Communicator::recv(void* buf, std::size_t count, const dtype::DatatypePtr& type,
+                        int src, int tag, RecvStatus* st) {
+  auto& p = world_->pml();
+  p.ctx().compute(p.ctx().params->mpi_call_ns);
+  pml::RecvRequest req(*p.ctx().engine, type, buf, count);
+  req.ctx = ctx_;
+  req.src_rank = src;
+  req.tag = tag;
+  p.post_recv(req);
+  p.wait(req);
+  if (st != nullptr) {
+    st->status = req.status();
+    st->bytes = req.transferred();
+    st->source = req.matched ? req.matched_hdr.src_rank : kAnySource;
+    st->tag = req.matched ? req.matched_hdr.tag : kAnyTag;
+  }
+}
+
+Request Communicator::isend(const void* buf, std::size_t count,
+                            const dtype::DatatypePtr& type, int dst, int tag) {
+  auto& p = world_->pml();
+  p.ctx().compute(p.ctx().params->mpi_call_ns);
+  auto req = std::make_shared<pml::SendRequest>(*p.ctx().engine, type, buf, count);
+  p.start_send(*req, ctx_, rank_, dst, tag, gids_[static_cast<std::size_t>(dst)]);
+  return Request(world_, std::move(req));
+}
+
+Request Communicator::irecv(void* buf, std::size_t count,
+                            const dtype::DatatypePtr& type, int src, int tag) {
+  auto& p = world_->pml();
+  p.ctx().compute(p.ctx().params->mpi_call_ns);
+  auto req = std::make_shared<pml::RecvRequest>(*p.ctx().engine, type, buf, count);
+  req->ctx = ctx_;
+  req->src_rank = src;
+  req->tag = tag;
+  p.post_recv(*req);
+  return Request(world_, std::move(req));
+}
+
+void Communicator::sendrecv(const void* send_buf, std::size_t send_count,
+                            int dst, int send_tag, void* recv_buf,
+                            std::size_t recv_count, int src, int recv_tag,
+                            const dtype::DatatypePtr& type, RecvStatus* st) {
+  Request r = irecv(recv_buf, recv_count, type, src, recv_tag);
+  Request s = isend(send_buf, send_count, type, dst, send_tag);
+  r.wait(st);
+  s.wait();
+}
+
+bool Communicator::iprobe(int src, int tag, RecvStatus* st) {
+  auto& p = world_->pml();
+  p.progress();
+  pml::MatchHeader hdr;
+  if (!p.iprobe(ctx_, src, tag, &hdr)) return false;
+  if (st != nullptr) {
+    st->source = hdr.src_rank;
+    st->tag = hdr.tag;
+    st->bytes = hdr.len;
+    st->status = Status::kOk;
+  }
+  return true;
+}
+
+void Communicator::probe(int src, int tag, RecvStatus* st) {
+  auto& p = world_->pml();
+  while (!iprobe(src, tag, st)) {
+    if (p.progress() == 0)
+      p.ctx().engine->sleep(p.ctx().params->host_poll_ns);
+  }
+}
+
+void Communicator::barrier() {
+  const int n = size();
+  if (n <= 1) return;
+  const int tag = coll_tag();
+  // Dissemination barrier: log2(n) rounds of paired zero-byte messages.
+  for (int step = 1; step < n; step <<= 1) {
+    const int dst = (rank_ + step) % n;
+    const int src = (rank_ - step + n) % n;
+    Request s = isend(nullptr, 0, dtype::byte_type(), dst, tag);
+    recv(nullptr, 0, dtype::byte_type(), src, tag);
+    s.wait();
+  }
+}
+
+void Communicator::bcast(void* buf, std::size_t count, const dtype::DatatypePtr& type,
+                         int root) {
+  const int n = size();
+  if (n <= 1) return;
+  const int tag = coll_tag();
+  const int rel = (rank_ - root + n) % n;
+  // Binomial tree rooted at `root`.
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      const int src = (rank_ - mask + n) % n;
+      recv(buf, count, type, src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < n) {
+      const int dst = (rank_ + mask) % n;
+      send(buf, count, type, dst, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+void Communicator::reduce_sum(const double* send_buf, double* recv_buf,
+                              std::size_t count, int root) {
+  const int n = size();
+  const int tag = coll_tag();
+  if (rank_ == root) {
+    std::memcpy(recv_buf, send_buf, count * sizeof(double));
+    std::vector<double> tmp(count);
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      recv(tmp.data(), count, dtype::double_type(), r, tag);
+      for (std::size_t i = 0; i < count; ++i) recv_buf[i] += tmp[i];
+    }
+  } else {
+    send(send_buf, count, dtype::double_type(), root, tag);
+  }
+}
+
+void Communicator::allreduce_sum(const double* send_buf, double* recv_buf,
+                                 std::size_t count) {
+  reduce_sum(send_buf, recv_buf, count, 0);
+  bcast(recv_buf, count, dtype::double_type(), 0);
+}
+
+void Communicator::allgather(const void* send_buf, std::size_t bytes_each,
+                             void* recv_buf) {
+  const int n = size();
+  const int tag = coll_tag();
+  auto* out = static_cast<char*>(recv_buf);
+  std::memcpy(out + static_cast<std::size_t>(rank_) * bytes_each, send_buf,
+              bytes_each);
+  if (n <= 1) return;
+  // Ring allgather: n-1 steps, each forwarding the piece received last.
+  const int right = (rank_ + 1) % n;
+  const int left = (rank_ - 1 + n) % n;
+  int have = rank_;  // piece forwarded this step
+  for (int step = 0; step < n - 1; ++step) {
+    const int incoming = (have - 1 + n) % n;
+    sendrecv(out + static_cast<std::size_t>(have) * bytes_each, bytes_each, right,
+             tag, out + static_cast<std::size_t>(incoming) * bytes_each,
+             bytes_each, left, tag, dtype::byte_type());
+    have = incoming;
+  }
+}
+
+void Communicator::scatter(const void* send_buf, std::size_t bytes_each,
+                           void* recv_buf, int root) {
+  const int n = size();
+  const int tag = coll_tag();
+  if (rank_ == root) {
+    const auto* in = static_cast<const char*>(send_buf);
+    std::memcpy(recv_buf, in + static_cast<std::size_t>(root) * bytes_each,
+                bytes_each);
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      send(in + static_cast<std::size_t>(r) * bytes_each, bytes_each,
+           dtype::byte_type(), r, tag);
+    }
+  } else {
+    recv(recv_buf, bytes_each, dtype::byte_type(), root, tag);
+  }
+}
+
+void Communicator::gather(const void* send_buf, std::size_t bytes_each,
+                          void* recv_buf, int root) {
+  const int n = size();
+  const int tag = coll_tag();
+  if (rank_ == root) {
+    auto* out = static_cast<char*>(recv_buf);
+    std::memcpy(out + static_cast<std::size_t>(rank_) * bytes_each, send_buf,
+                bytes_each);
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      recv(out + static_cast<std::size_t>(r) * bytes_each, bytes_each,
+           dtype::byte_type(), r, tag);
+    }
+  } else {
+    send(send_buf, bytes_each, dtype::byte_type(), root, tag);
+  }
+}
+
+void Communicator::alltoall(const void* send_buf, std::size_t bytes_each,
+                            void* recv_buf) {
+  const int n = size();
+  const int tag = coll_tag();
+  const auto* in = static_cast<const char*>(send_buf);
+  auto* out = static_cast<char*>(recv_buf);
+  std::memcpy(out + static_cast<std::size_t>(rank_) * bytes_each,
+              in + static_cast<std::size_t>(rank_) * bytes_each, bytes_each);
+  // Pairwise exchange: in step s, talk to rank ^ s (power-of-two sizes) or
+  // the (rank + s) / (rank - s) shift pair otherwise.
+  const bool pow2 = (n & (n - 1)) == 0;
+  for (int s = 1; s < n; ++s) {
+    const int peer = pow2 ? (rank_ ^ s) : (rank_ + s) % n;
+    const int from = pow2 ? peer : (rank_ - s + n) % n;
+    sendrecv(in + static_cast<std::size_t>(peer) * bytes_each, bytes_each, peer,
+             tag, out + static_cast<std::size_t>(from) * bytes_each, bytes_each,
+             from, tag, dtype::byte_type());
+  }
+}
+
+Communicator Communicator::dup() {
+  const int new_ctx = world_->next_ctx_++;
+  return Communicator(world_, new_ctx, rank_, gids_);
+}
+
+Communicator Communicator::split(int color, int key) {
+  const int n = size();
+  // Exchange (color, key) so every rank computes the same partition.
+  struct Entry {
+    std::int32_t color;
+    std::int32_t key;
+  };
+  Entry mine{color, key};
+  std::vector<Entry> all(static_cast<std::size_t>(n));
+  allgather(&mine, sizeof(Entry), all.data());
+
+  // Enumerate distinct colors in sorted order for deterministic context ids.
+  std::vector<int> colors;
+  for (const Entry& e : all) colors.push_back(e.color);
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+  const auto cit = std::find(colors.begin(), colors.end(), color);
+  const int color_index = static_cast<int>(cit - colors.begin());
+
+  // Members of my color, ordered by (key, old rank).
+  std::vector<std::pair<std::pair<int, int>, int>> members;  // ((key,rank),rank)
+  for (int r = 0; r < n; ++r) {
+    if (all[static_cast<std::size_t>(r)].color != color) continue;
+    members.push_back({{all[static_cast<std::size_t>(r)].key, r}, r});
+  }
+  std::sort(members.begin(), members.end());
+
+  std::vector<int> new_gids;
+  int new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const int old_rank = members[i].second;
+    new_gids.push_back(gids_[static_cast<std::size_t>(old_rank)]);
+    if (old_rank == rank_) new_rank = static_cast<int>(i);
+  }
+  assert(new_rank >= 0);
+
+  // Every rank advances the context counter identically; each color takes
+  // its slot within the allocated block.
+  const int base_ctx = world_->next_ctx_;
+  world_->next_ctx_ += static_cast<int>(colors.size());
+  return Communicator(world_, base_ctx + color_index, new_rank,
+                      std::move(new_gids));
+}
+
+// --------------------------------------------------------------- World ----
+
+World::World(rte::Env& env, elan4::QsNet& net, Options opts)
+    : env_(env), net_(net), opts_(std::move(opts)) {
+  gid_ = env_.world_index;
+  known_procs_ = env_.world_size;
+  open_stack();
+  rte::Registry& reg = env_.rte->registry();
+  reg.barrier(env_.job + "/init", env_.world_size);
+  // Self included: MPI allows self-sends, which ride the NIC loopback.
+  for (int g = 0; g < env_.world_size; ++g) add_peer_from_registry(g);
+  std::vector<int> gids(static_cast<std::size_t>(env_.world_size));
+  for (int i = 0; i < env_.world_size; ++i) gids[static_cast<std::size_t>(i)] = i;
+  comm_.reset(new Communicator(this, /*ctx=*/0, gid_, std::move(gids)));
+}
+
+World::World(rte::Env& env, elan4::QsNet& net, Options opts, const SpawnedTag& tag)
+    : env_(env), net_(net), opts_(std::move(opts)) {
+  gid_ = tag.gid;
+  const int gid_base = tag.gid - tag.child_index;
+  known_procs_ = gid_base + tag.nchildren;
+  open_stack();
+  // Wire up with parents and sibling children (and self, for self-sends).
+  for (int g : tag.parent_gids) add_peer_from_registry(g);
+  for (int j = 0; j < tag.nchildren; ++j) add_peer_from_registry(gid_base + j);
+  env_.rte->registry().barrier(tag.key + "/b", tag.nparents + tag.nchildren);
+  // The child's world is the merged communicator: parents first, then kids.
+  std::vector<int> gids = tag.parent_gids;
+  for (int j = 0; j < tag.nchildren; ++j) gids.push_back(gid_base + j);
+  comm_.reset(new Communicator(this, tag.ctx, tag.nparents + tag.child_index,
+                               std::move(gids)));
+}
+
+World::~World() {
+  if (!finalized_) finalize();
+}
+
+std::string World::proc_key(int gid) const {
+  return env_.job + "/proc/" + std::to_string(gid);
+}
+
+void World::open_stack() {
+  pml::ProcessCtx ctx;
+  ctx.engine = &net_.engine();
+  ctx.cpu = &net_.node(env_.node).cpu();
+  ctx.params = &net_.params();
+  ctx.gid = gid_;
+  pml_ = std::make_unique<pml::Pml>(ctx);
+  pml_->set_sched_policy(opts_.sched);
+  pml_->set_inline_rendezvous(opts_.inline_rendezvous);
+
+  pml::ContactInfo info;
+  if (opts_.use_elan4) {
+    auto ptl = std::make_unique<ptl_elan4::PtlElan4>(*pml_, net_, env_.node,
+                                                     opts_.elan4);
+    info.emplace(ptl->name(), ptl->contact());
+    pml_->add_ptl(std::move(ptl));
+  }
+  if (opts_.use_tcp) {
+    auto ptl = std::make_unique<ptl_tcp::PtlTcp>(*pml_, net_, env_.node);
+    info.emplace(ptl->name(), ptl->contact());
+    pml_->add_ptl(std::move(ptl));
+  }
+  assert(pml_->num_ptls() > 0 && "at least one PTL must be enabled");
+  env_.rte->registry().put(proc_key(gid_), serialize_contacts(info));
+  // Lazy reconnection: a send to a departed/migrated peer re-fetches its
+  // freshest contact info from the registry.
+  pml_->peer_resolver = [this](int gid) {
+    return deserialize_contacts(env_.rte->registry().get(proc_key(gid)));
+  };
+}
+
+void World::migrate(int new_node) {
+  assert(!finalized_);
+  // Connection sequence state is part of the checkpoint: peers keep their
+  // counters, so the rebuilt stack must resume counting where it stopped.
+  const pml::Pml::SequenceState seqs = pml_->export_sequences();
+  pml_->finalize();  // quiesce + goodbyes + release the old context
+  pml_.reset();
+  env_.node = new_node;
+  open_stack();  // fresh context on the new node; contact republished
+  pml_->import_sequences(seqs);
+}
+
+void World::add_peer_from_registry(int gid) {
+  const auto blob = env_.rte->registry().get(proc_key(gid));
+  const pml::ContactInfo info = deserialize_contacts(blob);
+  bool reachable = false;
+  for (std::size_t i = 0; i < pml_->num_ptls(); ++i)
+    reachable |= ok(pml_->ptl(i).add_peer(gid, info));
+  assert(reachable && "peer published no usable contact info");
+}
+
+Communicator World::spawn_merge(int n, std::function<void(World&)> child_main,
+                                const std::vector<int>& nodes) {
+  assert(n > 0);
+  assert(nodes.empty() || static_cast<int>(nodes.size()) == n);
+  const std::string key =
+      env_.job + "/spawn/" + std::to_string(spawn_seq_++);
+  const int nparents = comm_->size();
+  const int base = known_procs_;
+  const int ctx = kSpawnCtxBase + base;
+
+  if (comm_->rank() == 0) {
+    auto main_fn = std::make_shared<std::function<void(World&)>>(std::move(child_main));
+    for (int i = 0; i < n; ++i) {
+      SpawnedTag tag;
+      tag.gid = base + i;
+      tag.nparents = nparents;
+      tag.nchildren = n;
+      tag.child_index = i;
+      tag.ctx = ctx;
+      tag.parent_gids = comm_->gids_;
+      tag.key = key;
+      const int node = nodes.empty() ? (base + i) % net_.num_nodes()
+                                     : nodes[static_cast<std::size_t>(i)];
+      Options child_opts = opts_;
+      elan4::QsNet* net = &net_;
+      env_.rte->spawn_one(node, [net, child_opts, tag, main_fn](rte::Env& cenv) {
+        World child(cenv, *net, child_opts, tag);
+        (*main_fn)(child);
+      });
+    }
+  }
+
+  for (int j = 0; j < n; ++j) add_peer_from_registry(base + j);
+  env_.rte->registry().barrier(key + "/b", nparents + n);
+  known_procs_ = base + n;
+
+  std::vector<int> gids = comm_->gids_;
+  for (int j = 0; j < n; ++j) gids.push_back(base + j);
+  return Communicator(this, ctx, comm_->rank(), std::move(gids));
+}
+
+ptl_elan4::PtlElan4* World::elan4_ptl() {
+  for (std::size_t i = 0; i < pml_->num_ptls(); ++i)
+    if (pml_->ptl(i).name() == "elan4")
+      return static_cast<ptl_elan4::PtlElan4*>(&pml_->ptl(i));
+  return nullptr;
+}
+
+void World::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  // Applications synchronize (e.g. a barrier) before finalize; here we only
+  // quiesce our own traffic and leave (paper §4.1's synchronous completion
+  // of pending messages before a connection finalizes).
+  pml_->finalize();
+  env_.rte->oob().remove_endpoint(env_.oob_id);
+}
+
+}  // namespace oqs::mpi

@@ -1,0 +1,85 @@
+#include "mpich/mpich.h"
+
+#include <cassert>
+
+#include "rte/oob.h"
+
+namespace oqs::mpich {
+
+namespace {
+constexpr int kBarrierTagBase = 0x20000000;
+}
+
+MpichWorld::MpichWorld(rte::Env& env, tport::TportDomain& domain) : env_(env) {
+  rank_ = env_.world_index;
+  tport_ = std::make_unique<tport::Tport>(domain, env_.node);
+
+  rte::Registry& reg = env_.rte->registry();
+  std::vector<std::uint8_t> blob;
+  rte::put_pod(blob, tport_->vpid());
+  reg.put("mpich/" + env_.job + "/proc/" + std::to_string(rank_), blob);
+  reg.barrier("mpich/" + env_.job + "/init", env_.world_size);
+
+  rank_to_vpid_.resize(static_cast<std::size_t>(env_.world_size));
+  for (int r = 0; r < env_.world_size; ++r) {
+    const auto b = reg.get("mpich/" + env_.job + "/proc/" + std::to_string(r));
+    std::size_t off = 0;
+    rank_to_vpid_[static_cast<std::size_t>(r)] = rte::get_pod<elan4::Vpid>(b, off);
+  }
+}
+
+int MpichWorld::vpid_to_rank(elan4::Vpid v) const {
+  for (std::size_t i = 0; i < rank_to_vpid_.size(); ++i)
+    if (rank_to_vpid_[i] == v) return static_cast<int>(i);
+  return kAnySource;
+}
+
+void MpichWorld::send(const void* buf, std::size_t len, int dst, int tag) {
+  tport_->wait(isend(buf, len, dst, tag));
+}
+
+tport::Tport::TxReq* MpichWorld::isend(const void* buf, std::size_t len, int dst,
+                                       int tag) {
+  assert(dst >= 0 && dst < size());
+  return tport_->send(rank_to_vpid_[static_cast<std::size_t>(dst)],
+                      encode_tag(tag), buf, len);
+}
+
+tport::Tport::RxReq* MpichWorld::irecv(void* buf, std::size_t capacity, int src,
+                                       int tag) {
+  const elan4::Vpid svpid =
+      src == kAnySource ? tport::kAnyVpid
+                        : rank_to_vpid_[static_cast<std::size_t>(src)];
+  const std::uint64_t mask = tag == kAnyTag ? 0 : ~std::uint64_t{0};
+  return tport_->recv(svpid, encode_tag(tag), mask, buf, capacity);
+}
+
+void MpichWorld::recv(void* buf, std::size_t capacity, int src, int tag,
+                      RecvStatus* st) {
+  wait(irecv(buf, capacity, src, tag), st);
+}
+
+void MpichWorld::wait(tport::Tport::RxReq* r, RecvStatus* st) {
+  tport_->wait(r);
+  if (st != nullptr) {
+    st->source = vpid_to_rank(r->src);
+    st->tag = static_cast<int>(r->tag);
+    st->bytes = r->len;
+    st->truncated = r->truncated;
+  }
+}
+
+void MpichWorld::barrier() {
+  const int n = size();
+  if (n <= 1) return;
+  const int tag = kBarrierTagBase + (coll_seq_++ & 0x0FFFFFFF);
+  for (int step = 1; step < n; step <<= 1) {
+    const int dst = (rank_ + step) % n;
+    const int src = (rank_ - step + n) % n;
+    tport::Tport::TxReq* s = isend(nullptr, 0, dst, tag);
+    recv(nullptr, 0, src, tag);
+    tport_->wait(s);
+  }
+}
+
+}  // namespace oqs::mpich

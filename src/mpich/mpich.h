@@ -1,0 +1,57 @@
+// MPICH-QsNetII — the paper's comparison baseline (Fig. 10).
+//
+// A minimal MPI built directly on the Tport layer: NIC tag matching, 32-byte
+// headers, polling progress. Structured like Quadrics' MPICH device: the
+// host posts tagged operations and polls; everything else is "firmware".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rte/runtime.h"
+#include "tport/tport.h"
+
+namespace oqs::mpich {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct RecvStatus {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+  bool truncated = false;
+};
+
+class MpichWorld {
+ public:
+  // Collective over env's launch: wires rank -> VPID through the registry.
+  MpichWorld(rte::Env& env, tport::TportDomain& domain);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(rank_to_vpid_.size()); }
+  tport::Tport& tport() { return *tport_; }
+
+  void send(const void* buf, std::size_t len, int dst, int tag);
+  void recv(void* buf, std::size_t capacity, int src, int tag,
+            RecvStatus* st = nullptr);
+  tport::Tport::TxReq* isend(const void* buf, std::size_t len, int dst, int tag);
+  tport::Tport::RxReq* irecv(void* buf, std::size_t capacity, int src, int tag);
+  void wait(tport::Tport::TxReq* r) { tport_->wait(r); }
+  void wait(tport::Tport::RxReq* r, RecvStatus* st = nullptr);
+
+  void barrier();
+
+ private:
+  std::uint64_t encode_tag(int tag) const { return static_cast<std::uint32_t>(tag); }
+  int vpid_to_rank(elan4::Vpid v) const;
+
+  rte::Env env_;
+  std::unique_ptr<tport::Tport> tport_;
+  int rank_ = -1;
+  std::vector<elan4::Vpid> rank_to_vpid_;
+  int coll_seq_ = 0;
+};
+
+}  // namespace oqs::mpich

@@ -1,0 +1,71 @@
+// A message-oriented Ethernet for the TCP reference PTL.
+//
+// The paper's baseline Open MPI PTL runs over TCP/IP; our machine model
+// therefore carries a GigE-class network beside QsNetII. This class moves
+// whole frames between attached sinks with propagation latency, per-
+// endpoint serialization (tx and rx), and nothing else — protocol costs
+// (syscalls, kernel copies, stack time) are charged by the TCP PTL itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "base/params.h"
+#include "sim/engine.h"
+
+namespace oqs::net {
+
+class EthNet {
+ public:
+  class Sink {
+   public:
+    virtual ~Sink() = default;
+    virtual void eth_deliver(int src_addr, std::vector<std::uint8_t> frame) = 0;
+  };
+
+  EthNet(sim::Engine& engine, const ModelParams& params)
+      : engine_(engine), params_(params) {}
+
+  int attach(Sink* sink) {
+    const int addr = next_addr_++;
+    ports_.emplace(addr, Port{sink, 0, 0});
+    return addr;
+  }
+  void detach(int addr) { ports_.erase(addr); }
+
+  void send(int src, int dst, std::vector<std::uint8_t> frame) {
+    auto sit = ports_.find(src);
+    if (sit == ports_.end()) return;
+    const sim::Time tx =
+        ModelParams::xfer_ns(frame.size(), params_.tcp_wire_mbps);
+    const sim::Time now = engine_.now();
+    const sim::Time depart = std::max(now, sit->second.tx_free) ;
+    sit->second.tx_free = depart + tx;
+    const sim::Time arrive_head = depart + params_.eth_latency_ns;
+    engine_.schedule_at(
+        arrive_head + tx, [this, src, dst, frame = std::move(frame)]() mutable {
+          auto dit = ports_.find(dst);
+          if (dit == ports_.end()) return;  // peer left; frame dropped
+          // Receive-side serialization: frames queue into the endpoint.
+          const sim::Time rx_done =
+              std::max(engine_.now(), dit->second.rx_free) ;
+          dit->second.rx_free = rx_done;
+          dit->second.sink->eth_deliver(src, std::move(frame));
+        });
+  }
+
+ private:
+  struct Port {
+    Sink* sink;
+    sim::Time tx_free;
+    sim::Time rx_free;
+  };
+  sim::Engine& engine_;
+  const ModelParams& params_;
+  std::map<int, Port> ports_;
+  int next_addr_ = 1;
+};
+
+}  // namespace oqs::net

@@ -1,0 +1,43 @@
+// A directed network link with occupancy.
+//
+// Serialization time is charged per packet; back-to-back packets queue on
+// `free_at`, which is how bandwidth sharing and saturation emerge in the
+// benchmarks instead of being curve-fit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace oqs::net {
+
+class Link {
+ public:
+  explicit Link(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Reserve the link for a packet whose head arrives at `head_arrival` and
+  // whose serialization takes `tx_ns`. Returns the actual departure time
+  // (>= head_arrival; later if the link is still busy).
+  sim::Time reserve(sim::Time head_arrival, sim::Time tx_ns) {
+    const sim::Time depart = head_arrival > free_at_ ? head_arrival : free_at_;
+    free_at_ = depart + tx_ns;
+    busy_ns_ += tx_ns;
+    ++packets_;
+    return depart;
+  }
+
+  sim::Time free_at() const { return free_at_; }
+  sim::Time busy_ns() const { return busy_ns_; }
+  std::uint64_t packets() const { return packets_; }
+
+ private:
+  std::string name_;
+  sim::Time free_at_ = 0;
+  sim::Time busy_ns_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace oqs::net

@@ -1,0 +1,76 @@
+#include "net/topology.h"
+
+#include <cassert>
+#include <string>
+
+namespace oqs::net {
+
+SingleSwitch::SingleSwitch(int nodes) {
+  assert(nodes >= 1 && nodes <= 8 && "QS-8A connects up to 8 nodes");
+  for (int i = 0; i < nodes; ++i) {
+    up_.push_back(std::make_unique<Link>("n" + std::to_string(i) + ">sw"));
+    down_.push_back(std::make_unique<Link>("sw>n" + std::to_string(i)));
+  }
+}
+
+void SingleSwitch::route(int src, int dst, std::vector<Link*>& out) {
+  out.clear();
+  if (src == dst) return;
+  assert(src >= 0 && src < num_nodes() && dst >= 0 && dst < num_nodes());
+  out.push_back(up_[static_cast<std::size_t>(src)].get());
+  out.push_back(down_[static_cast<std::size_t>(dst)].get());
+}
+
+QuaternaryFatTree::QuaternaryFatTree(int nodes) : nodes_(nodes) {
+  assert(nodes >= 1);
+  levels_ = 1;
+  int cap = 4;
+  while (cap < nodes) {
+    cap *= 4;
+    ++levels_;
+  }
+  up_.resize(static_cast<std::size_t>(nodes));
+  down_.resize(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    for (int l = 0; l < levels_; ++l) {
+      up_[static_cast<std::size_t>(i)].push_back(std::make_unique<Link>(
+          "n" + std::to_string(i) + ".up" + std::to_string(l)));
+      down_[static_cast<std::size_t>(i)].push_back(std::make_unique<Link>(
+          "n" + std::to_string(i) + ".dn" + std::to_string(l)));
+    }
+  }
+}
+
+int QuaternaryFatTree::climb(int src, int dst) const {
+  // Leaves whose labels agree in all high base-4 digits share a subtree;
+  // the packet climbs until the first differing digit (from the least
+  // significant side the subtree spans 4^l leaves at level l).
+  int h = 0;
+  int s = src;
+  int d = dst;
+  while (s != d) {
+    s /= 4;
+    d /= 4;
+    ++h;
+  }
+  return h;
+}
+
+int QuaternaryFatTree::hops(int src, int dst) const {
+  if (src == dst) return 0;
+  return 2 * climb(src, dst);
+}
+
+void QuaternaryFatTree::route(int src, int dst, std::vector<Link*>& out) {
+  out.clear();
+  if (src == dst) return;
+  assert(src >= 0 && src < nodes_ && dst >= 0 && dst < nodes_);
+  const int h = climb(src, dst);
+  assert(h <= levels_);
+  for (int l = 0; l < h; ++l)
+    out.push_back(up_[static_cast<std::size_t>(src)][static_cast<std::size_t>(l)].get());
+  for (int l = h - 1; l >= 0; --l)
+    out.push_back(down_[static_cast<std::size_t>(dst)][static_cast<std::size_t>(l)].get());
+}
+
+}  // namespace oqs::net

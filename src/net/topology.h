@@ -1,0 +1,62 @@
+// QsNetII topologies built from Elite4 switches.
+//
+// SingleSwitch  — the paper's testbed: one QS-8A, up to 8 nodes, 2 hops.
+// QuaternaryFatTree — a 4-ary n-tree for larger clusters, with
+//   deterministic source-routed up-paths and destination-routed down-paths
+//   (the standard Quadrics routing discipline).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/link.h"
+
+namespace oqs::net {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual int num_nodes() const = 0;
+  // Number of link traversals between distinct nodes (0 for src == dst).
+  virtual int hops(int src, int dst) const = 0;
+  // Ordered links a packet traverses from src to dst. Empty for loopback.
+  virtual void route(int src, int dst, std::vector<Link*>& out) = 0;
+};
+
+class SingleSwitch final : public Topology {
+ public:
+  explicit SingleSwitch(int nodes);
+
+  int num_nodes() const override { return static_cast<int>(up_.size()); }
+  int hops(int src, int dst) const override { return src == dst ? 0 : 2; }
+  void route(int src, int dst, std::vector<Link*>& out) override;
+
+ private:
+  std::vector<std::unique_ptr<Link>> up_;    // node -> switch
+  std::vector<std::unique_ptr<Link>> down_;  // switch -> node
+};
+
+class QuaternaryFatTree final : public Topology {
+ public:
+  explicit QuaternaryFatTree(int nodes);
+
+  int num_nodes() const override { return nodes_; }
+  int levels() const { return levels_; }
+  int hops(int src, int dst) const override;
+  void route(int src, int dst, std::vector<Link*>& out) override;
+
+ private:
+  // Level at which the up-path of src and down-path of dst meet: the number
+  // of trailing base-4 digits in which src and dst differ.
+  int climb(int src, int dst) const;
+
+  int nodes_;
+  int levels_;  // n in "4-ary n-tree"
+  // up_[node][l] is the link from level-l toward level-l+1 on node's
+  // deterministic up-path; down_[node][l] mirrors it on the down-path.
+  std::vector<std::vector<std::unique_ptr<Link>>> up_;
+  std::vector<std::vector<std::unique_ptr<Link>>> down_;
+};
+
+}  // namespace oqs::net

@@ -1,0 +1,56 @@
+// The PML wire header.
+//
+// Every PTL fragment leads with this 64-byte header (the paper compares it
+// against MPICH-QsNetII's 32-byte Tport header when explaining the
+// small-message latency gap in Fig. 10). Matching is done in the PML — by
+// design, so request queues can be shared across networks — never in the
+// NIC. Control fragments (ACK/FIN/FIN_ACK) reuse the same frame with a
+// different `kind`; their extra fields ride in a small body after the
+// header.
+#pragma once
+
+#include <cstdint>
+
+namespace oqs::pml {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+// Fragment kinds shared by the PTL implementations.
+enum class FragKind : std::uint8_t {
+  kEager = 1,       // whole message inline
+  kRendezvous = 2,  // first fragment of a long message
+  kAck = 3,         // receiver -> sender: matched; body carries RDMA targets
+  kFin = 4,         // sender -> receiver: RDMA-write data all placed
+  kFinAck = 5,      // receiver -> sender: RDMA-read complete (ack + fin)
+  kComplete = 6,    // NIC -> own completion queue: local descriptor done
+  kGoodbye = 7,     // connection teardown handshake
+  kData = 8,        // copy-path remainder chunk (TCP PTL)
+  kNack = 9,        // reliability: resend frames starting at hdr.cookie
+};
+
+// MatchHeader.flags bits.
+inline constexpr std::uint8_t kFlagChecksummed = 0x1;  // CRC32C trailer present
+inline constexpr std::uint8_t kFlagControl = 0x2;      // bypasses sequencing
+
+struct MatchHeader {
+  std::int32_t ctx = 0;       // communicator context id
+  std::int32_t src_rank = 0;  // sender's rank within ctx
+  std::int32_t dst_rank = 0;
+  std::int32_t tag = 0;
+  std::uint64_t len = 0;  // total message payload bytes
+  std::uint64_t seq = 0;  // per (src process -> dst process) sequence
+  std::int32_t src_gid = 0;   // sender's global process id
+  std::int32_t dst_gid = 0;
+  FragKind kind = FragKind::kEager;
+  std::uint8_t flags = 0;
+  std::uint16_t frame_seq = 0;  // per-peer frame sequence (reliability mode)
+  std::uint32_t status = 0;   // carries a Status code on FIN/FIN_ACK
+  std::uint64_t cookie = 0;   // send- or recv-request handle, kind-dependent
+  std::uint64_t aux = 0;      // scheme-dependent (e.g. exposed E4 address)
+};
+static_assert(sizeof(MatchHeader) == 64, "the paper's PML header is 64 bytes");
+
+inline constexpr std::uint32_t kMatchHeaderBytes = 64;
+
+}  // namespace oqs::pml

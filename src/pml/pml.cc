@@ -1,0 +1,274 @@
+#include "pml/pml.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/log.h"
+
+namespace oqs::pml {
+
+Pml::~Pml() {
+  if (!finalized_) finalize();
+}
+
+void Pml::add_ptl(std::unique_ptr<Ptl> ptl) { ptls_.push_back(std::move(ptl)); }
+
+Ptl* Pml::choose_ptl(int dst_gid) {
+  if (policy_ == SchedPolicy::kRoundRobin) {
+    for (std::size_t k = 0; k < ptls_.size(); ++k) {
+      Ptl* p = ptls_[(rr_next_ + k) % ptls_.size()].get();
+      if (p->reaches(dst_gid)) {
+        rr_next_ = (rr_next_ + k + 1) % ptls_.size();
+        return p;
+      }
+    }
+    return nullptr;
+  }
+  Ptl* best = nullptr;
+  for (const auto& p : ptls_) {
+    if (!p->reaches(dst_gid)) continue;
+    if (best == nullptr || p->bandwidth_weight() > best->bandwidth_weight())
+      best = p.get();
+  }
+  return best;
+}
+
+void Pml::start_send(SendRequest& req, int ctx_id, int src_rank, int dst_rank,
+                     int tag, int dst_gid) {
+  assert(!finalized_);
+  req.set_wake_delay(request_wake_delay_);
+  // Opportunistic progress on entry (standard MPI behaviour): connection
+  // control traffic — a peer's goodbye before it migrated, for instance —
+  // must be seen before the routing decision below.
+  bool any_threaded = false;
+  for (const auto& p : ptls_) any_threaded |= p->threaded();
+  if (!any_threaded) progress();
+  ctx_.compute(ctx_.params->pml_sched_ns);
+
+  req.hdr.ctx = ctx_id;
+  req.hdr.src_rank = src_rank;
+  req.hdr.dst_rank = dst_rank;
+  req.hdr.tag = tag;
+  req.hdr.len = req.total_bytes();
+  req.hdr.src_gid = ctx_.gid;
+  req.hdr.dst_gid = dst_gid;
+  req.hdr.seq = ++send_seq_[dst_gid];
+  req.dst_gid = dst_gid;
+
+  Ptl* ptl = choose_ptl(dst_gid);
+  if (ptl == nullptr && resolve_peer(dst_gid)) ptl = choose_ptl(dst_gid);
+  if (ptl == nullptr) {
+    log::error("pml", "no PTL reaches gid ", dst_gid);
+    req.fail(Status::kUnreachable);
+    return;
+  }
+  req.ptl = ptl;
+
+  std::size_t inline_len;
+  if (req.total_bytes() <= ptl->eager_limit())
+    inline_len = req.total_bytes();  // whole message rides the first frag
+  else
+    inline_len = inline_rendezvous_ ? ptl->eager_limit() : 0;
+
+  if (probe_send_to_ptl) probe_send_to_ptl();
+  ptl->send_first(req, inline_len);
+}
+
+bool Pml::matches(const RecvRequest& req, const MatchHeader& hdr) {
+  if (req.ctx != hdr.ctx) return false;
+  if (req.src_rank != kAnySource && req.src_rank != hdr.src_rank) return false;
+  if (req.tag != kAnyTag && req.tag != hdr.tag) return false;
+  return true;
+}
+
+void Pml::post_recv(RecvRequest& req) {
+  assert(!finalized_);
+  req.set_wake_delay(request_wake_delay_);
+  ctx_.compute(ctx_.params->pml_match_ns);
+  // Check the unexpected queue first, in arrival order.
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (matches(req, (*it)->hdr)) {
+      std::unique_ptr<FirstFrag> frag = std::move(*it);
+      unexpected_.erase(it);
+      bind(req, std::move(frag));
+      return;
+    }
+  }
+  posted_.push_back(req);
+}
+
+bool Pml::resolve_peer(int gid) {
+  if (!peer_resolver) return false;
+  const ContactInfo info = peer_resolver(gid);
+  bool reachable = false;
+  for (const auto& p : ptls_) reachable |= ok(p->add_peer(gid, info));
+  return reachable;
+}
+
+void Pml::cancel(RecvRequest& req) {
+  if (req.complete() || req.matched) return;
+  if (static_cast<ListItem<RecvRequest>&>(req).linked()) posted_.erase(req);
+  req.fail(Status::kShutdown);
+}
+
+bool Pml::iprobe(int ctx_id, int src_rank, int tag, MatchHeader* out) {
+  ctx_.compute(ctx_.params->pml_match_ns);
+  for (const auto& frag : unexpected_) {
+    const MatchHeader& h = frag->hdr;
+    if (h.ctx != ctx_id) continue;
+    if (src_rank != kAnySource && src_rank != h.src_rank) continue;
+    if (tag != kAnyTag && tag != h.tag) continue;
+    if (out != nullptr) *out = h;
+    return true;
+  }
+  return false;
+}
+
+void Pml::incoming_first(std::unique_ptr<FirstFrag> frag) {
+  if (probe_deliver_to_pml) probe_deliver_to_pml();
+  // Enforce per-sender arrival order across PTLs: admit seq n only after
+  // n-1. Fragments from the future are held.
+  InOrder& io = recv_seq_[frag->hdr.src_gid];
+  if (frag->hdr.seq != io.expected) {
+    assert(frag->hdr.seq > io.expected && "duplicate sequence number");
+    const std::uint64_t seq = frag->hdr.seq;
+    io.held.emplace(seq, std::move(frag));
+    return;
+  }
+  ++io.expected;
+  admit(std::move(frag));
+  // Drain any directly-following held fragments.
+  for (;;) {
+    auto it = io.held.find(io.expected);
+    if (it == io.held.end()) break;
+    std::unique_ptr<FirstFrag> next = std::move(it->second);
+    io.held.erase(it);
+    ++io.expected;
+    admit(std::move(next));
+  }
+}
+
+void Pml::admit(std::unique_ptr<FirstFrag> frag) {
+  ctx_.compute(ctx_.params->pml_match_ns);
+  for (RecvRequest& req : posted_) {
+    if (matches(req, frag->hdr)) {
+      posted_.erase(req);
+      bind(req, std::move(frag));
+      return;
+    }
+  }
+  unexpected_.push_back(std::move(frag));
+}
+
+void Pml::bind(RecvRequest& req, std::unique_ptr<FirstFrag> frag) {
+  req.matched = true;
+  req.matched_hdr = frag->hdr;
+  req.set_total(std::min<std::size_t>(frag->hdr.len, req.capacity));
+
+  // Truncation: an eager overrun completes with kTruncate after delivering
+  // the bytes that fit; a rendezvous overrun cannot be honoured (the RDMA
+  // schemes target the posted buffer) and is a program error.
+  if (frag->hdr.len > req.capacity) {
+    log::warn("pml", "truncation: incoming ", frag->hdr.len, "B > posted ",
+              req.capacity, "B");
+    assert(frag->hdr.len <= frag->inline_data.size() &&
+           "rendezvous truncation is unsupported; post a large enough buffer");
+    req.fail(Status::kTruncate);  // completes first; progress below still counts
+  }
+
+  // Unpack any inline payload into the user buffer via the convertor.
+  if (!frag->inline_data.empty()) {
+    const std::size_t take =
+        std::min<std::size_t>(frag->inline_data.size(), req.capacity);
+    ctx_.compute(ctx_.params->host_memcpy_startup_ns +
+                 ModelParams::xfer_ns(take, ctx_.params->host_memcpy_mbps));
+    req.convertor.unpack(frag->inline_data.data(), take);
+    recv_progress(req, take);
+  } else if (frag->hdr.len == 0) {
+    // Zero-byte message: complete on match.
+    req.finish(Status::kOk);
+  }
+
+  if (req.complete()) return;
+  if (frag->hdr.len <= frag->inline_data.size()) return;  // eager, in flight
+
+  // Long message: hand back to the delivering PTL to run its scheme.
+  Ptl* ptl = frag->ptl;
+  ctx_.compute(ctx_.params->pml_sched_ns);
+  ptl->matched(req, std::move(frag));
+}
+
+void Pml::send_progress(SendRequest& req, std::size_t bytes) {
+  req.add_progress(bytes);
+  if (req.complete()) ctx_.compute(ctx_.params->pml_complete_ns);
+}
+
+void Pml::recv_progress(RecvRequest& req, std::size_t bytes) {
+  req.add_progress(bytes);
+  if (req.complete()) ctx_.compute(ctx_.params->pml_complete_ns);
+}
+
+int Pml::progress() {
+  int n = 0;
+  for (const auto& p : ptls_) n += p->progress();
+  return n;
+}
+
+void Pml::wait(Request& req) {
+  bool any_threaded = false;
+  for (const auto& p : ptls_) any_threaded |= p->threaded();
+  if (any_threaded) {
+    req.done_flag().wait();
+    return;
+  }
+  // Interrupt-driven blocking only works when a single PTL is active — a
+  // process cannot block inside one PTL while others carry traffic (§3.2).
+  // Block only while the PTL is idle; once a protocol exchange is in flight
+  // (rendezvous answered, RDMA outstanding), poll it to completion so a
+  // multi-step protocol costs one interrupt, not one per step.
+  if (ptls_.size() == 1 && ptls_[0]->blocking_capable()) {
+    Ptl& ptl = *ptls_[0];
+    while (!req.complete()) {
+      if (ptl.progress() > 0) continue;
+      if (ptl.active())
+        ctx_.engine->sleep(ctx_.params->host_poll_ns);
+      else
+        ptl.progress_blocking();
+    }
+    return;
+  }
+  while (!req.complete()) {
+    if (progress() == 0) {
+      // Nothing arrived: the poll cost was already charged by the PTLs.
+      // Yield so NIC/fabric events can run.
+      ctx_.engine->sleep(ctx_.params->host_poll_ns);
+    }
+  }
+}
+
+Pml::SequenceState Pml::export_sequences() const {
+  SequenceState s;
+  s.send_next = send_seq_;
+  for (const auto& [gid, io] : recv_seq_) {
+    assert(io.held.empty() && "exporting sequences with out-of-order frags held");
+    s.recv_expected[gid] = io.expected;
+  }
+  return s;
+}
+
+void Pml::import_sequences(const SequenceState& s) {
+  send_seq_ = s.send_next;
+  for (const auto& [gid, expected] : s.recv_expected)
+    recv_seq_[gid].expected = expected;
+}
+
+void Pml::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  // Unlink (and fail) any receives still posted so their storage can be
+  // reclaimed safely after teardown.
+  while (RecvRequest* req = posted_.pop_front()) req->fail(Status::kShutdown);
+  for (const auto& p : ptls_) p->finalize();
+}
+
+}  // namespace oqs::pml

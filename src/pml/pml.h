@@ -1,0 +1,146 @@
+// The Point-to-point Management Layer.
+//
+// Device-neutral message management (paper §2.1): request handling, tag
+// matching with wildcards and per-sender ordering, fragment scheduling
+// across the available PTL modules, reassembly progress, and request
+// completion. One Pml instance per MPI process.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/intrusive_list.h"
+#include "base/params.h"
+#include "pml/ptl.h"
+#include "pml/request.h"
+#include "sim/cpu.h"
+#include "sim/engine.h"
+
+namespace oqs::pml {
+
+// Everything a layer needs to charge host work for one process.
+struct ProcessCtx {
+  sim::Engine* engine = nullptr;
+  sim::Cpu* cpu = nullptr;
+  const ModelParams* params = nullptr;
+  int gid = -1;  // global process id
+
+  void compute(sim::Time ns) const { cpu->compute(ns); }
+};
+
+class Pml {
+ public:
+  enum class SchedPolicy {
+    kBestWeight,  // highest-bandwidth reachable PTL (default)
+    kRoundRobin,  // rotate across reachable PTLs per message
+  };
+
+  explicit Pml(ProcessCtx ctx) : ctx_(ctx) {}
+  ~Pml();
+  Pml(const Pml&) = delete;
+  Pml& operator=(const Pml&) = delete;
+
+  const ProcessCtx& ctx() const { return ctx_; }
+  void set_sched_policy(SchedPolicy p) { policy_ = p; }
+  // When false, rendezvous first fragments carry no payload — the paper's
+  // "NoInline" optimization (§6.1), which avoids the extra copy on RDMA
+  // networks. Default mirrors the paper's best configuration: off.
+  void set_inline_rendezvous(bool v) { inline_rendezvous_ = v; }
+  // Condvar handoff latency charged when a progress thread completes a
+  // request the application thread is blocked on.
+  void set_request_wake_delay(sim::Time ns) { request_wake_delay_ = ns; }
+
+  void add_ptl(std::unique_ptr<Ptl> ptl);
+  std::size_t num_ptls() const { return ptls_.size(); }
+  Ptl& ptl(std::size_t i) { return *ptls_[i]; }
+
+  // --- application-facing path (called from the process fiber) ---
+  // Begin a send; hdr addressing fields other than len/seq must be set.
+  void start_send(SendRequest& req, int ctx_id, int src_rank, int dst_rank,
+                  int tag, int dst_gid);
+  void post_recv(RecvRequest& req);
+  // Cancel a posted receive that has not matched (MPI_Cancel semantics);
+  // the request completes with kShutdown. No-op once matched or complete.
+  void cancel(RecvRequest& req);
+  // Inspect the unexpected queue for a matching envelope without consuming
+  // it (MPI_Iprobe). Returns true and fills *out on a hit.
+  bool iprobe(int ctx_id, int src_rank, int tag, MatchHeader* out);
+  // One progress sweep over all PTLs; returns events handled.
+  int progress();
+  // Block until the request completes (poll- or thread-driven depending on
+  // the attached PTLs).
+  void wait(Request& req);
+
+  // --- PTL upcalls ---
+  // First fragment arrived; the PML takes ownership and matches it, holding
+  // out-of-sequence arrivals until their turn (multi-PTL ordering).
+  void incoming_first(std::unique_ptr<FirstFrag> frag);
+  void send_progress(SendRequest& req, std::size_t bytes);
+  void recv_progress(RecvRequest& req, std::size_t bytes);
+
+  // Quiesce all PTLs (paper's finalize stage).
+  void finalize();
+
+  // --- checkpoint/restart support ---
+  // Per-peer sequence state survives migration: the rebuilt PML must keep
+  // counting where the old one stopped or peers' ordering checks desync.
+  struct SequenceState {
+    std::map<int, std::uint64_t> send_next;      // dst gid -> last seq sent
+    std::map<int, std::uint64_t> recv_expected;  // src gid -> next expected
+  };
+  SequenceState export_sequences() const;
+  void import_sequences(const SequenceState& s);
+
+  // Re-resolve a peer whose connection went away (it migrated or rejoined):
+  // fetch fresh contact info through `peer_resolver` and re-add it to every
+  // PTL. Returns true if any PTL now reaches the peer.
+  bool resolve_peer(int gid);
+  // Installed by the runtime layer; typically a registry lookup.
+  std::function<ContactInfo(int gid)> peer_resolver;
+
+  // --- instrumentation (Fig. 9 layer-cost analysis) ---
+  // Invoked when a first fragment is handed up for matching, and when a
+  // send request is handed down to a PTL.
+  std::function<void()> probe_deliver_to_pml;
+  std::function<void()> probe_send_to_ptl;
+
+  std::size_t unexpected_count() const { return unexpected_.size(); }
+  std::size_t posted_count() const { return posted_.size(); }
+
+ private:
+  Ptl* choose_ptl(int dst_gid);
+  // Deliver an in-sequence fragment into matching.
+  void admit(std::unique_ptr<FirstFrag> frag);
+  // Bind a matched pair: inline unpack, completion or scheme kick-off.
+  void bind(RecvRequest& req, std::unique_ptr<FirstFrag> frag);
+  static bool matches(const RecvRequest& req, const MatchHeader& hdr);
+
+  ProcessCtx ctx_;
+  SchedPolicy policy_ = SchedPolicy::kBestWeight;
+  bool inline_rendezvous_ = false;
+  sim::Time request_wake_delay_ = 0;
+  std::size_t rr_next_ = 0;
+  std::vector<std::unique_ptr<Ptl>> ptls_;
+
+  // Sender-side per-destination sequence numbers.
+  std::map<int, std::uint64_t> send_seq_;
+  // Receiver-side per-source expected sequence + held out-of-order frags.
+  struct InOrder {
+    std::uint64_t expected = 1;
+    std::map<std::uint64_t, std::unique_ptr<FirstFrag>> held;
+  };
+  std::map<int, InOrder> recv_seq_;
+
+  // The posted-receive queue is intrusive (Open MPI's opal_list style): no
+  // allocation on the critical path, O(1) unlink at match time.
+  IntrusiveList<RecvRequest, RecvRequest> posted_;
+  std::list<std::unique_ptr<FirstFrag>> unexpected_;
+  bool finalized_ = false;
+};
+
+}  // namespace oqs::pml

@@ -1,0 +1,97 @@
+// The PTL component interface (paper §2.2).
+//
+// A PTL module is one communication endpoint over one network interface. It
+// moves fragments; the PML above it owns matching, scheduling and request
+// state. The five lifecycle stages of the paper (open, initialize,
+// communicate, finalize, close) map to: construction, init(), the
+// send/matched/progress calls, finalize(), destruction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "pml/header.h"
+#include "pml/request.h"
+
+namespace oqs::pml {
+
+class Pml;
+
+// Contact information published through the RTE registry at wire-up: one
+// opaque blob per PTL component name.
+using ContactInfo = std::map<std::string, std::vector<std::uint8_t>>;
+
+// Receiver-side state of an arrived first fragment, created by the PTL and
+// owned by the PML until the match completes. PTLs subclass it to carry
+// scheme state (sender cookie, exposed E4 address, ...).
+struct FirstFrag {
+  virtual ~FirstFrag() = default;
+  MatchHeader hdr;
+  Ptl* ptl = nullptr;
+  std::vector<std::uint8_t> inline_data;  // payload carried with the header
+};
+
+class Ptl {
+ public:
+  virtual ~Ptl() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Largest payload the PTL will carry in a first fragment. Messages up to
+  // this size use the eager path; larger ones go through rendezvous.
+  virtual std::size_t eager_limit() const = 0;
+  // Relative bandwidth weight for scheduling the rendezvous remainder
+  // across PTLs (MB/s scale).
+  virtual double bandwidth_weight() const = 0;
+
+  // This module's contact blob, stored in the registry.
+  virtual std::vector<std::uint8_t> contact() const = 0;
+  // Learn a peer's contact blob. Returns kUnreachable if the peer did not
+  // publish a section for this PTL component.
+  virtual Status add_peer(int gid, const ContactInfo& info) = 0;
+  virtual void remove_peer(int gid) = 0;
+  virtual bool reaches(int gid) const = 0;
+
+  // --- send path ---
+  // Transmit the first fragment of req (header + up to inline_len payload
+  // bytes). For len <= eager_limit this is the whole message.
+  virtual void send_first(SendRequest& req, std::size_t inline_len) = 0;
+
+  // --- receive path ---
+  // PML matched `frag` to `req`; run the long-message scheme (ack + sender
+  // RDMA-write, or RDMA-read + FIN_ACK). Only called when hdr.len exceeds
+  // the inline payload.
+  virtual void matched(RecvRequest& req, std::unique_ptr<FirstFrag> frag) = 0;
+
+  // Poll the network once; deliver arrivals into the PML. Returns the
+  // number of events handled. Used by the PML's non-blocking progress mode.
+  virtual int progress() = 0;
+
+  // Interrupt-driven progress: block inside the PTL until at least one
+  // event is handled. The paper notes this is "not really workable" with
+  // multiple PTLs active (a process cannot block within one PTL); it exists
+  // to measure interrupt cost (Table 1) and only engages when it is the
+  // sole PTL.
+  virtual bool blocking_capable() const { return false; }
+  virtual int progress_blocking() { return progress(); }
+  // True while the PTL has protocol exchanges in flight (a rendezvous being
+  // answered, an RDMA outstanding). The interrupt-mode wait polls while
+  // active and only blocks when genuinely idle, so a multi-step protocol
+  // costs one interrupt, not one per step.
+  virtual bool active() const { return false; }
+
+  // Quiesce: complete pending traffic, stop progress threads, release
+  // network resources (paper §4.1: finalize only after pending messages
+  // drain so no leftover DMA can regenerate traffic).
+  virtual void finalize() = 0;
+
+  // True when this module runs its own progress thread(s); the PML then
+  // blocks on request flags instead of spin-polling.
+  virtual bool threaded() const { return false; }
+};
+
+}  // namespace oqs::pml

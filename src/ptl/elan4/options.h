@@ -1,0 +1,54 @@
+// Configuration of the Elan4 PTL — every knob the paper evaluates.
+#pragma once
+
+#include <cstdint>
+
+namespace oqs::ptl_elan4 {
+
+// Long-message scheme (paper §4.2, Figs. 3 and 4).
+enum class Scheme {
+  kRdmaRead,   // receiver GETs the data, then FIN_ACK to the sender
+  kRdmaWrite,  // receiver ACKs with its address; sender PUTs, then FIN
+};
+
+// How local RDMA completions are detected (paper §4.3, Fig. 6).
+enum class Completion {
+  kDirectPoll,     // poll each descriptor's own host event ("Basic")
+  kSharedCombined, // chained QDMA into the main receive queue (One-Queue)
+  kSharedSeparate, // chained QDMA into a dedicated queue (Two-Queue)
+};
+
+// Progress mode (paper §6.4, Table 1).
+enum class Progress {
+  kPolling,     // application thread polls
+  kInterrupt,   // application blocks in the PTL on device interrupts
+  kOneThread,   // one progress thread on the combined queue
+  kTwoThreads,  // recv-queue thread + completion-queue thread
+};
+
+struct Options {
+  Scheme scheme = Scheme::kRdmaRead;
+  Completion completion = Completion::kDirectPoll;
+  Progress progress = Progress::kPolling;
+  // Chain the FIN/FIN_ACK QDMA to the last RDMA via the chained-event
+  // mechanism (paper §4.2; ablated in Fig. 8 as Read-NoChain).
+  bool chained_fin = true;
+  // Route pack/unpack through the datatype copy engine and charge its cost;
+  // false models the paper's memcpy() replacement (Fig. 7 "DTP" ablation
+  // measures the difference).
+  bool use_dtype_engine = false;
+  // End-to-end reliability (LA-MPI heritage): CRC32C on every frame with
+  // NACK-driven go-back-N retransmission, and checksum + re-read recovery
+  // of rendezvous payloads. Forces the RDMA-read scheme with host-mediated
+  // FIN_ACK (verification must precede the acknowledgement).
+  bool reliability = false;
+  // Rendezvous payload re-read attempts before the transfer fails.
+  int max_data_retries = 3;
+  // Host receive-queue slots (QSLOTS) and preallocated 2KB send buffers.
+  std::uint32_t qslots = 2048;
+  std::uint32_t send_bufs = 64;
+  // Rails for the multirail extension; control traffic stays on rail 0.
+  int rails = 1;
+};
+
+}  // namespace oqs::ptl_elan4

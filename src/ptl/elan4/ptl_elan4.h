@@ -1,0 +1,193 @@
+// PTL/Elan4 — the paper's contribution.
+//
+// Point-to-point transport over the Elan4 NIC:
+//  * eager messages (<= 1984 B payload after the 64 B match header) ride
+//    QDMA into the peer's host receive queue, from preallocated 2 KB send
+//    buffers;
+//  * long messages use rendezvous plus either RDMA-read (receiver GETs,
+//    FIN_ACK chained to the read) or RDMA-write (receiver ACKs its exposed
+//    E4 address, sender PUTs, FIN chained to the write);
+//  * local RDMA completion is detected by per-descriptor event polling, or
+//    via the shared completion queue (a QDMA chained to every RDMA lands in
+//    a queue one thread can block on — the Fig. 6 design);
+//  * progress is polled, interrupt-driven, or carried by one or two
+//    progress threads (Table 1).
+//
+// Dynamic joins: each module claims an Elan context at construction and
+// releases it at finalize; peers come and go via add_peer/remove_peer with
+// contact info from the RTE registry.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "elan4/device.h"
+#include "elan4/qsnet.h"
+#include "pml/pml.h"
+#include "pml/ptl.h"
+#include "ptl/elan4/options.h"
+
+namespace oqs::ptl_elan4 {
+
+inline constexpr int kMaxRails = 2;
+
+// First-fragment state carried from the wire into the match (adds the
+// sender's exposed addresses for the RDMA-read scheme).
+struct ElanFirstFrag final : pml::FirstFrag {
+  elan4::E4Addr src_addr[kMaxRails] = {};
+  std::uint64_t send_cookie = 0;
+  std::uint32_t data_crc = 0;  // reliability: CRC32C of the remainder
+};
+
+class PtlElan4 final : public pml::Ptl {
+ public:
+  PtlElan4(pml::Pml& pml, elan4::QsNet& net, int node, Options opts);
+  ~PtlElan4() override;
+
+  // --- pml::Ptl ---
+  const std::string& name() const override { return name_; }
+  std::size_t eager_limit() const override {
+    // Reliability appends a 4-byte CRC32C trailer inside the 2KB slot.
+    return opts_.reliability ? 1980 : 1984;
+  }
+  double bandwidth_weight() const override;
+  std::vector<std::uint8_t> contact() const override;
+  Status add_peer(int gid, const pml::ContactInfo& info) override;
+  void remove_peer(int gid) override;
+  bool reaches(int gid) const override;
+  void send_first(pml::SendRequest& req, std::size_t inline_len) override;
+  void matched(pml::RecvRequest& req, std::unique_ptr<pml::FirstFrag> frag) override;
+  int progress() override;
+  bool blocking_capable() const override {
+    return opts_.progress == Progress::kInterrupt;
+  }
+  int progress_blocking() override;
+  bool active() const override { return !sends_.empty() || !recvs_.empty(); }
+  void finalize() override;
+  bool threaded() const override {
+    return opts_.progress == Progress::kOneThread ||
+           opts_.progress == Progress::kTwoThreads;
+  }
+
+  const Options& options() const { return opts_; }
+  elan4::Elan4Device& device(int rail = 0) { return *devices_[rail]; }
+  std::size_t pending_ops() const { return sends_.size() + recvs_.size(); }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t data_retries() const { return data_retries_; }
+
+ private:
+  struct Peer {
+    elan4::Vpid vpid[kMaxRails];
+    int recv_queue = -1;
+    bool alive = true;
+    // Reliability state (go-back-N over the frame stream).
+    std::uint16_t tx_seq = 0;       // last frame sequence sent
+    std::uint16_t rx_expected = 1;  // next frame sequence accepted
+    std::uint16_t log_base = 1;     // sequence of sent_log.front()
+    std::deque<std::vector<std::uint8_t>> sent_log;
+  };
+
+  // Long-message sender state.
+  struct PendingSend {
+    pml::SendRequest* req = nullptr;
+    std::size_t rest = 0;
+    const char* src_ptr = nullptr;  // rest region (user buffer or staging)
+    elan4::E4Addr src_addr[kMaxRails] = {};
+    std::vector<elan4::E4Event*> events;  // write scheme: one per rail
+    int gid = -1;
+    int awaiting = 0;  // outstanding local RDMA completions
+    bool fin_needed = false;  // write scheme without chaining
+    std::uint64_t peer_recv_cookie = 0;
+  };
+
+  // Long-message receiver state.
+  struct PendingRecv {
+    pml::RecvRequest* req = nullptr;
+    std::size_t rest = 0;
+    char* dst_ptr = nullptr;
+    bool staged = false;
+    elan4::E4Addr dst_addr[kMaxRails] = {};
+    std::vector<elan4::E4Event*> events;  // read scheme: one per rail
+    int gid = -1;
+    int awaiting = 0;  // outstanding local RDMA completions
+    std::uint64_t send_cookie = 0;
+    bool finack_needed = false;  // read scheme without chaining
+    // Reliability: enough to verify and re-issue the reads.
+    elan4::E4Addr src_remote[kMaxRails] = {};
+    int rails_used = 0;
+    std::uint32_t expect_crc = 0;
+    int retries = 0;
+  };
+
+  // Wire frame bodies (after the 64 B MatchHeader).
+  struct RdvBody {
+    elan4::E4Addr src_addr[kMaxRails];
+    std::uint64_t data_crc;  // reliability: CRC32C of the remainder
+  };
+  struct AckBody {
+    std::uint64_t recv_cookie;
+    elan4::E4Addr dst_addr[kMaxRails];
+  };
+
+  void post_frame(Peer& peer, const pml::MatchHeader& hdr, const void* body,
+                  std::size_t body_len, const void* payload, std::size_t payload_len);
+  // Reliability helpers.
+  void charge_crc(std::size_t bytes);
+  // Verify the trailer and enforce per-peer ordering; false = drop frame.
+  bool admit_frame(Peer& peer, const pml::MatchHeader& hdr,
+                   const std::vector<std::uint8_t>& frame);
+  void send_nack(int gid, std::uint16_t expected);
+  void handle_nack(const pml::MatchHeader& hdr);
+  // Issue (or re-issue) the RDMA reads for a pending receive.
+  void issue_reads(std::uint64_t id, PendingRecv& op);
+  void handle_frame(elan4::QdmaQueue::Slot&& slot);
+  void handle_ack(const pml::MatchHeader& hdr, const AckBody& body);
+  void handle_fin(const pml::MatchHeader& hdr);
+  void handle_fin_ack(const pml::MatchHeader& hdr);
+  void handle_local_complete(std::uint64_t id);
+
+  // Split `rest` across rails; rail 0 takes the remainder.
+  std::size_t rail_share(std::size_t rest, int rail) const;
+  void complete_send(std::uint64_t id, PendingSend& op);
+  void complete_recv(std::uint64_t id, PendingRecv& op);
+  // Attach completion plumbing (chained QDMAs / poll registration) to an
+  // RDMA local event for op `id`.
+  void arm_completion(elan4::E4Event* ev, std::uint64_t id);
+  int poll_direct();
+  void send_self(pml::FragKind kind);
+  void start_threads();
+  void charge_pack(std::size_t bytes);
+
+  pml::Pml& pml_;
+  elan4::QsNet& net_;
+  int node_;
+  Options opts_;
+  std::string name_ = "elan4";
+  std::vector<std::unique_ptr<elan4::Elan4Device>> devices_;
+  elan4::QdmaQueue* recv_q_ = nullptr;
+  elan4::QdmaQueue* comp_q_ = nullptr;  // Two-Queue variant
+  std::map<int, Peer> peers_;
+  std::map<std::uint64_t, PendingSend> sends_;
+  std::map<std::uint64_t, PendingRecv> recvs_;
+  // Ops with events to poll in kDirectPoll mode: (op id, event).
+  std::vector<std::pair<std::uint64_t, elan4::E4Event*>> poll_list_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t sendbufs_recycled_ = 0;
+  // Local event attached to the next post_frame (send-buffer recycling).
+  elan4::E4Event* recycle_event_ = nullptr;
+  std::uint64_t frames_dropped_ = 0;   // bad CRC or out-of-sequence
+  std::uint64_t retransmissions_ = 0;  // frames resent after a NACK
+  std::uint64_t data_retries_ = 0;     // rendezvous payload re-reads
+  bool stopping_ = false;
+  bool finalized_ = false;
+  int live_threads_ = 0;
+
+  // Reserved completion cookie: send-buffer recycling, no pending op.
+  static constexpr std::uint64_t kRecycleCookie = 0;
+};
+
+}  // namespace oqs::ptl_elan4

@@ -1,0 +1,193 @@
+#include "ptl/tcp/ptl_tcp.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "base/log.h"
+#include "rte/oob.h"
+
+namespace oqs::ptl_tcp {
+
+using pml::FragKind;
+using pml::MatchHeader;
+
+PtlTcp::PtlTcp(pml::Pml& pml, elan4::QsNet& net, int node)
+    : pml_(pml), net_(net), node_(node) {
+  addr_ = net_.eth().attach(this);
+}
+
+PtlTcp::~PtlTcp() {
+  if (!finalized_) finalize();
+}
+
+std::vector<std::uint8_t> PtlTcp::contact() const {
+  std::vector<std::uint8_t> blob;
+  rte::put_pod(blob, static_cast<std::int32_t>(addr_));
+  return blob;
+}
+
+Status PtlTcp::add_peer(int gid, const pml::ContactInfo& info) {
+  auto it = info.find(name_);
+  if (it == info.end()) return Status::kUnreachable;
+  std::size_t off = 0;
+  peers_[gid] = rte::get_pod<std::int32_t>(it->second, off);
+  return Status::kOk;
+}
+
+void PtlTcp::charge_io(std::size_t bytes) {
+  const ModelParams& p = net_.params();
+  net_.node(node_).cpu().compute(p.syscall_ns + p.tcp_stack_ns +
+                                 ModelParams::xfer_ns(bytes, p.tcp_copy_mbps));
+}
+
+void PtlTcp::post_frame(int peer_addr, const MatchHeader& hdr, const void* payload,
+                        std::size_t payload_len) {
+  std::vector<std::uint8_t> frame(sizeof(MatchHeader) + payload_len);
+  std::memcpy(frame.data(), &hdr, sizeof(MatchHeader));
+  if (payload_len > 0)
+    std::memcpy(frame.data() + sizeof(MatchHeader), payload, payload_len);
+  charge_io(frame.size());
+  net_.eth().send(addr_, peer_addr, std::move(frame));
+}
+
+void PtlTcp::send_first(pml::SendRequest& req, std::size_t inline_len) {
+  auto pit = peers_.find(req.dst_gid);
+  if (pit == peers_.end()) {
+    req.fail(Status::kUnreachable);
+    return;
+  }
+  const std::size_t total = req.total_bytes();
+
+  if (total <= eager_limit()) {
+    req.hdr.kind = FragKind::kEager;
+    std::vector<std::uint8_t> payload(total);
+    if (total > 0) req.convertor.pack(payload.data(), total);
+    post_frame(pit->second, req.hdr, payload.data(), payload.size());
+    pml_.send_progress(req, total);
+    return;
+  }
+
+  const std::uint64_t id = next_id_++;
+  if (inline_len > eager_limit()) inline_len = eager_limit();
+  req.hdr.kind = FragKind::kRendezvous;
+  req.hdr.cookie = id;
+  std::vector<std::uint8_t> payload(inline_len);
+  if (inline_len > 0) req.convertor.pack(payload.data(), inline_len);
+  sends_.emplace(id, PendingSend{&req, total - inline_len, req.dst_gid});
+  post_frame(pit->second, req.hdr, payload.data(), payload.size());
+  if (inline_len > 0) pml_.send_progress(req, inline_len);
+}
+
+void PtlTcp::matched(pml::RecvRequest& req, std::unique_ptr<pml::FirstFrag> frag) {
+  auto* tf = static_cast<TcpFirstFrag*>(frag.get());
+  auto pit = peers_.find(tf->hdr.src_gid);
+  if (pit == peers_.end()) {
+    req.fail(Status::kUnreachable);
+    return;
+  }
+  const std::uint64_t id = next_id_++;
+  recvs_.emplace(id, PendingRecv{&req, tf->hdr.len - tf->inline_data.size(),
+                                 tf->hdr.src_gid});
+  MatchHeader ack;
+  ack.kind = FragKind::kAck;
+  ack.cookie = tf->send_cookie;
+  ack.aux = id;  // receiver-side cookie for the data chunks
+  ack.src_gid = pml_.ctx().gid;
+  ack.dst_gid = tf->hdr.src_gid;
+  post_frame(pit->second, ack, nullptr, 0);
+}
+
+void PtlTcp::eth_deliver(int, std::vector<std::uint8_t> frame) {
+  inbox_.push_back(std::move(frame));
+}
+
+void PtlTcp::handle_frame(std::vector<std::uint8_t>&& frame) {
+  MatchHeader hdr;
+  std::memcpy(&hdr, frame.data(), sizeof(MatchHeader));
+  charge_io(frame.size());
+
+  switch (hdr.kind) {
+    case FragKind::kEager:
+    case FragKind::kRendezvous: {
+      auto ff = std::make_unique<TcpFirstFrag>();
+      ff->hdr = hdr;
+      ff->ptl = this;
+      ff->send_cookie = hdr.cookie;
+      ff->inline_data.assign(frame.begin() + sizeof(MatchHeader), frame.end());
+      pml_.incoming_first(std::move(ff));
+      break;
+    }
+    case FragKind::kAck: {
+      auto it = sends_.find(hdr.cookie);
+      if (it == sends_.end()) {
+        log::warn(name_, "ACK for unknown cookie ", hdr.cookie);
+        break;
+      }
+      PendingSend op = it->second;
+      sends_.erase(it);
+      const int peer_addr = peers_.at(op.gid);
+      const std::uint32_t chunk = net_.params().tcp_chunk;
+      std::size_t off = 0;
+      std::vector<std::uint8_t> buf;
+      while (off < op.rest) {
+        const std::size_t part = std::min<std::size_t>(chunk, op.rest - off);
+        buf.resize(part);
+        op.req->convertor.pack(buf.data(), part);
+        MatchHeader data;
+        data.kind = FragKind::kData;
+        data.cookie = hdr.aux;  // receiver's cookie
+        data.aux = off;
+        data.len = part;
+        data.src_gid = pml_.ctx().gid;
+        data.dst_gid = op.gid;
+        post_frame(peer_addr, data, buf.data(), part);
+        off += part;
+      }
+      pml_.send_progress(*op.req, op.rest);
+      break;
+    }
+    case FragKind::kData: {
+      auto it = recvs_.find(hdr.cookie);
+      if (it == recvs_.end()) {
+        log::warn(name_, "DATA for unknown cookie ", hdr.cookie);
+        break;
+      }
+      PendingRecv& op = it->second;
+      const std::size_t part = frame.size() - sizeof(MatchHeader);
+      assert(part <= op.remaining && "chunk overruns the posted receive");
+      op.req->convertor.unpack(frame.data() + sizeof(MatchHeader), part);
+      op.remaining -= part;
+      pml::RecvRequest* req = op.req;
+      if (op.remaining == 0) recvs_.erase(it);
+      pml_.recv_progress(*req, part);
+      break;
+    }
+    default:
+      log::warn(name_, "unexpected frame kind ",
+                static_cast<int>(hdr.kind));
+  }
+}
+
+int PtlTcp::progress() {
+  // One poll() syscall over the socket set.
+  net_.node(node_).cpu().compute(net_.params().host_poll_ns);
+  int n = 0;
+  while (!inbox_.empty()) {
+    std::vector<std::uint8_t> f = std::move(inbox_.front());
+    inbox_.pop_front();
+    handle_frame(std::move(f));
+    ++n;
+  }
+  return n;
+}
+
+void PtlTcp::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  while (!sends_.empty() || !recvs_.empty()) {
+    if (progress() == 0) net_.engine().sleep(net_.params().host_poll_ns * 4);
+  }
+  net_.eth().detach(addr_);
+}
+
+}  // namespace oqs::ptl_tcp

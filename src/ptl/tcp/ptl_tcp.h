@@ -1,0 +1,80 @@
+// PTL/TCP — the reference transport the paper's Open MPI started from.
+//
+// Runs the same PML protocol over a simulated kernel socket path: every
+// frame pays syscall + user/kernel copy + protocol-stack time, and all data
+// moves through send/recv copies (no RDMA). Long messages are rendezvous
+// plus in-order data chunks. Exists (a) as the semantic contrast the paper
+// draws — poll/select progress, copies, OS overhead — and (b) to exercise
+// concurrent multi-network scheduling in the PML.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "elan4/qsnet.h"
+#include "net/ethernet.h"
+#include "pml/pml.h"
+#include "pml/ptl.h"
+
+namespace oqs::ptl_tcp {
+
+struct TcpFirstFrag final : pml::FirstFrag {
+  std::uint64_t send_cookie = 0;
+};
+
+class PtlTcp final : public pml::Ptl, private net::EthNet::Sink {
+ public:
+  PtlTcp(pml::Pml& pml, elan4::QsNet& net, int node);
+  ~PtlTcp() override;
+
+  const std::string& name() const override { return name_; }
+  std::size_t eager_limit() const override { return net_.params().tcp_eager; }
+  double bandwidth_weight() const override { return net_.params().tcp_wire_mbps; }
+  std::vector<std::uint8_t> contact() const override;
+  Status add_peer(int gid, const pml::ContactInfo& info) override;
+  void remove_peer(int gid) override { peers_.erase(gid); }
+  bool reaches(int gid) const override { return peers_.count(gid) > 0; }
+  void send_first(pml::SendRequest& req, std::size_t inline_len) override;
+  void matched(pml::RecvRequest& req, std::unique_ptr<pml::FirstFrag> frag) override;
+  int progress() override;
+  void finalize() override;
+
+  std::size_t pending_ops() const { return sends_.size() + recvs_.size(); }
+
+ private:
+  struct PendingSend {
+    pml::SendRequest* req = nullptr;
+    std::size_t rest = 0;
+    int gid = -1;
+  };
+  struct PendingRecv {
+    pml::RecvRequest* req = nullptr;
+    std::size_t remaining = 0;
+    int gid = -1;
+  };
+
+  // net::EthNet::Sink — frames land in the kernel-side inbox.
+  void eth_deliver(int src_addr, std::vector<std::uint8_t> frame) override;
+
+  void post_frame(int peer_addr, const pml::MatchHeader& hdr, const void* payload,
+                  std::size_t payload_len);
+  void handle_frame(std::vector<std::uint8_t>&& frame);
+  void charge_io(std::size_t bytes);
+
+  pml::Pml& pml_;
+  elan4::QsNet& net_;
+  int node_;
+  std::string name_ = "tcp";
+  int addr_ = -1;
+  std::map<int, int> peers_;  // gid -> eth address
+  std::map<std::uint64_t, PendingSend> sends_;
+  std::map<std::uint64_t, PendingRecv> recvs_;
+  std::deque<std::vector<std::uint8_t>> inbox_;
+  std::uint64_t next_id_ = 1;
+  bool finalized_ = false;
+};
+
+}  // namespace oqs::ptl_tcp

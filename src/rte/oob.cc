@@ -1,0 +1,57 @@
+#include "rte/oob.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "base/log.h"
+
+namespace oqs::rte {
+
+int Oob::add_endpoint() {
+  const int id = next_id_++;
+  endpoints_.emplace(id, std::make_unique<Endpoint>(engine_));
+  return id;
+}
+
+void Oob::remove_endpoint(int id) { endpoints_.erase(id); }
+
+void Oob::send(int src, int dst, int tag, std::vector<std::uint8_t> data) {
+  const sim::Time delay =
+      params_.oob_latency_ns + ModelParams::xfer_ns(data.size(), params_.oob_mbps);
+  engine_.schedule(delay, [this, src, dst, tag, data = std::move(data)]() mutable {
+    auto it = endpoints_.find(dst);
+    if (it == endpoints_.end()) {
+      log::warn("oob", "message to dead endpoint ", dst, " dropped");
+      return;
+    }
+    it->second->queue.push_back(OobMsg{src, tag, std::move(data)});
+    it->second->arrived.notify_all();
+  });
+}
+
+bool Oob::match(Endpoint& ep, int tag, OobMsg* out) {
+  for (auto it = ep.queue.begin(); it != ep.queue.end(); ++it) {
+    if (tag == kAnyTag || it->tag == tag) {
+      *out = std::move(*it);
+      ep.queue.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+OobMsg Oob::recv(int self, int tag) {
+  auto it = endpoints_.find(self);
+  assert(it != endpoints_.end() && "recv on unknown endpoint");
+  OobMsg out;
+  while (!match(*it->second, tag, &out)) it->second->arrived.wait();
+  return out;
+}
+
+bool Oob::try_recv(int self, int tag, OobMsg* out) {
+  auto it = endpoints_.find(self);
+  assert(it != endpoints_.end());
+  return match(*it->second, tag, out);
+}
+
+}  // namespace oqs::rte

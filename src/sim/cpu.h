@@ -1,0 +1,63 @@
+// Per-node CPU model.
+//
+// A node has a small number of cores (the paper's testbed: dual Xeon).
+// Fibers charge software-path costs with compute(); when more fibers are
+// runnable than cores exist they queue, which is exactly the contention the
+// paper observes between the MPI process and its progress threads (§6.4:
+// one-thread progress beats two-thread because of CPU/memory contention).
+// Execution is non-preemptive per compute() block; a context-switch penalty
+// is charged when a core's occupant changes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/time.h"
+
+namespace oqs::sim {
+
+class Cpu {
+ public:
+  Cpu(Engine& engine, unsigned cores, Time ctx_switch_ns,
+      double memory_contention = 0.0)
+      : engine_(engine),
+        ctx_switch_ns_(ctx_switch_ns),
+        memory_contention_(memory_contention),
+        cores_(cores) {}
+
+  unsigned num_cores() const { return static_cast<unsigned>(cores_.size()); }
+
+  // Charge `dur` ns of CPU work from the calling fiber; blocks while all
+  // cores are busy. Zero-duration compute still requires a core grant if the
+  // machine is saturated, but fast-paths when one is free.
+  void compute(Time dur);
+
+  // Total busy time integrated over all cores (for utilization reporting).
+  Time busy_ns() const { return busy_ns_; }
+  std::uint64_t switches() const { return switches_; }
+
+ private:
+  struct Core {
+    bool busy = false;
+    const Fiber* last = nullptr;
+  };
+  struct Waiter {
+    Fiber* fiber;
+    int granted_core = -1;
+  };
+
+  int find_free() const;
+
+  Engine& engine_;
+  Time ctx_switch_ns_;
+  // Slowdown per additional busy core (shared FSB / memory bus).
+  double memory_contention_;
+  std::vector<Core> cores_;
+  std::deque<Waiter*> wait_queue_;
+  Time busy_ns_ = 0;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace oqs::sim

@@ -1,0 +1,95 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace oqs::sim {
+
+Engine::Engine() { log::set_clock([this] { return now_; }); }
+
+Engine::~Engine() { log::set_clock(nullptr); }
+
+Fiber* Engine::spawn(std::string name, std::function<void()> body) {
+  fibers_.push_back(std::make_unique<Fiber>(*this, std::move(name), std::move(body)));
+  Fiber* f = fibers_.back().get();
+  queue_.push(now_, [this, f] { resume(f); });
+  return f;
+}
+
+void Engine::park() {
+  assert(current_ != nullptr && "park() outside a fiber");
+  current_->leave(Fiber::State::kBlocked);
+}
+
+void Engine::sleep(Time dur) {
+  assert(current_ != nullptr && "sleep() outside a fiber");
+  Fiber* f = current_;
+  queue_.push(now_ + dur, [this, f] { resume(f); });
+  park();
+}
+
+void Engine::unpark(Fiber* f, Time delay) {
+  assert(f != nullptr);
+  queue_.push(now_ + delay, [this, f] { resume(f); });
+}
+
+void Engine::resume(Fiber* f) {
+  if (f->done()) return;  // fiber exited before a queued wakeup fired
+  if (f->state() != Fiber::State::kBlocked && f->state() != Fiber::State::kReady) {
+    log::error("sim", "resume of fiber '", f->name(), "' in bad state");
+    return;
+  }
+  if (f->state() == Fiber::State::kBlocked) f->state_ = Fiber::State::kReady;
+  Fiber* prev = current_;
+  current_ = f;
+  f->enter(prev == nullptr ? &loop_ctx_ : &prev->ctx_);
+  current_ = prev;
+}
+
+void Engine::dispatch_one(Time when) {
+  EventQueue::Callback cb = queue_.pop(&now_);
+  (void)when;
+  ++events_executed_;
+  cb();
+}
+
+Time Engine::run() {
+  running_ = true;
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    dispatch_one(queue_.next_time());
+    if ((events_executed_ & 0xffff) == 0) reap();
+  }
+  running_ = false;
+  reap();
+  return now_;
+}
+
+Time Engine::run_until(Time deadline) {
+  running_ = true;
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= deadline) {
+    dispatch_one(queue_.next_time());
+    if ((events_executed_ & 0xffff) == 0) reap();
+  }
+  running_ = false;
+  if (now_ < deadline) now_ = deadline;
+  reap();
+  return now_;
+}
+
+std::size_t Engine::live_fibers() const {
+  return static_cast<std::size_t>(
+      std::count_if(fibers_.begin(), fibers_.end(),
+                    [](const auto& f) { return !f->done(); }));
+}
+
+void Engine::reap() {
+  // Finished fibers are destroyed only from the engine loop (never from
+  // inside another fiber) so no live stack is freed under its own feet.
+  if (current_ != nullptr) return;
+  std::erase_if(fibers_, [](const auto& f) { return f->done(); });
+}
+
+}  // namespace oqs::sim

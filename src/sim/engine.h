@@ -1,0 +1,80 @@
+// The discrete-event simulation engine.
+//
+// Owns the event queue and all fibers. Plain events are callbacks at a
+// timestamp; fibers block by parking themselves and are made runnable again
+// via unpark(), which enqueues a resume event (fibers are never switched to
+// directly from another fiber — all control flow goes through the loop, so
+// same-instant wakeups preserve FIFO order).
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/fiber.h"
+#include "sim/time.h"
+
+namespace oqs::sim {
+
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedule a plain callback `delay` ns from now.
+  void schedule(Time delay, std::function<void()> cb) {
+    queue_.push(now_ + delay, std::move(cb));
+  }
+  void schedule_at(Time when, std::function<void()> cb) {
+    assert(when >= now_);
+    queue_.push(when, std::move(cb));
+  }
+
+  // Create a fiber that starts running at the current time.
+  Fiber* spawn(std::string name, std::function<void()> body);
+
+  // --- Callable only from inside a fiber ---
+  Fiber* current() const { return current_; }
+  bool in_fiber() const { return current_ != nullptr; }
+  // Block the current fiber until unpark()ed.
+  void park();
+  // Block the current fiber for `dur` simulated ns.
+  void sleep(Time dur);
+
+  // --- Callable from anywhere ---
+  // Make a parked fiber runnable after `delay` ns.
+  void unpark(Fiber* f, Time delay = 0);
+
+  // Run until the queue drains or stop() is called. Returns the final time.
+  Time run();
+  // Run no event past `deadline`; now() advances to at most `deadline`.
+  Time run_until(Time deadline);
+  void stop() { stopped_ = true; }
+
+  std::size_t live_fibers() const;
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  friend class Fiber;
+  void dispatch_one(Time when);
+  void resume(Fiber* f);
+  void reap();
+
+  EventQueue queue_;
+  Time now_ = 0;
+  bool stopped_ = false;
+  bool running_ = false;
+  Fiber* current_ = nullptr;
+  ucontext_t loop_ctx_{};
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace oqs::sim

@@ -1,0 +1,51 @@
+// Time-ordered event queue (binary heap) with FIFO tie-breaking.
+//
+// Events scheduled for the same instant execute in scheduling order, which
+// makes the whole simulation deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace oqs::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void push(Time when, Callback cb) {
+    heap_.push(Entry{when, seq_++, std::move(cb)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  Time next_time() const { return heap_.top().when; }
+
+  Callback pop(Time* when) {
+    // std::priority_queue::top() is const; the callback is moved out via a
+    // const_cast that is safe because pop() immediately removes the entry.
+    Entry& e = const_cast<Entry&>(heap_.top());
+    *when = e.when;
+    Callback cb = std::move(e.cb);
+    heap_.pop();
+    return cb;
+  }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    Callback cb;
+    bool operator>(const Entry& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace oqs::sim

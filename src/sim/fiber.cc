@@ -1,0 +1,59 @@
+#include "sim/fiber.h"
+
+#include <cassert>
+#include <utility>
+
+#include "base/log.h"
+#include "sim/engine.h"
+
+namespace oqs::sim {
+
+namespace {
+// makecontext() cannot portably pass a pointer, so the fiber being started
+// is staged here. Safe: the simulation is single-threaded and the value is
+// consumed before control can reach another start.
+Fiber* g_starting = nullptr;
+}  // namespace
+
+Fiber::Fiber(Engine& engine, std::string name, std::function<void()> body,
+             std::size_t stack_bytes)
+    : engine_(engine),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      stack_(new char[stack_bytes]) {
+  getcontext(&ctx_);
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_link = nullptr;  // finished fibers swap back explicitly
+  makecontext(&ctx_, &Fiber::trampoline, 0);
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline() {
+  Fiber* self = g_starting;
+  g_starting = nullptr;
+  self->started_ = true;
+  self->body_();
+  self->body_ = nullptr;  // release captured state promptly
+  self->leave(State::kDone);
+  assert(false && "resumed a finished fiber");
+}
+
+void Fiber::enter(ucontext_t* from) {
+  assert(state_ == State::kReady);
+  state_ = State::kRunning;
+  return_ctx_ = from;
+  if (!started_) g_starting = this;
+  swapcontext(from, &ctx_);
+}
+
+void Fiber::leave(State new_state) {
+  assert(state_ == State::kRunning);
+  state_ = new_state;
+  ucontext_t* back = return_ctx_;
+  return_ctx_ = nullptr;
+  swapcontext(&ctx_, back);
+}
+
+}  // namespace oqs::sim

@@ -1,0 +1,52 @@
+// ucontext-based cooperative fibers.
+//
+// Every simulated thread of control — an MPI process, a progress thread, a
+// spawned dynamic process — is a Fiber. Fibers run on the single host thread
+// and switch only at explicit blocking points, so the simulation stays
+// deterministic.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace oqs::sim {
+
+class Engine;
+
+class Fiber {
+ public:
+  enum class State { kReady, kRunning, kBlocked, kDone };
+
+  Fiber(Engine& engine, std::string name, std::function<void()> body,
+        std::size_t stack_bytes = 256 * 1024);
+  ~Fiber();
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  const std::string& name() const { return name_; }
+  State state() const { return state_; }
+  bool done() const { return state_ == State::kDone; }
+
+ private:
+  friend class Engine;
+  static void trampoline();
+  // Runs the fiber until it blocks or finishes; called from the engine loop.
+  void enter(ucontext_t* from);
+  // Called from inside the fiber: save state, return to the engine.
+  void leave(State new_state);
+
+  Engine& engine_;
+  std::string name_;
+  std::function<void()> body_;
+  std::unique_ptr<char[]> stack_;
+  ucontext_t ctx_{};
+  ucontext_t* return_ctx_ = nullptr;
+  State state_ = State::kReady;
+  bool started_ = false;
+};
+
+}  // namespace oqs::sim

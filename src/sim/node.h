@@ -1,0 +1,41 @@
+// A compute node: identity plus its CPU model.
+//
+// Devices (Elan4 NIC, simulated Ethernet for OOB) attach to a node by id in
+// their own modules; sim keeps the node minimal.
+#pragma once
+
+#include <string>
+
+#include "base/params.h"
+#include "sim/cpu.h"
+
+namespace oqs::sim {
+
+class Node {
+ public:
+  Node(Engine& engine, int id, const ModelParams& params)
+      : id_(id),
+        name_("node" + std::to_string(id)),
+        cpu_(engine, params.cores_per_node, params.ctx_switch_ns,
+             params.fsb_contention) {}
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Cpu& cpu() { return cpu_; }
+
+  // Serialize an interrupt on the node's IRQ path (default affinity routes
+  // every device interrupt through one CPU); returns its completion time.
+  Time irq_reserve(Time now, Time service) {
+    const Time start = now > irq_free_at_ ? now : irq_free_at_;
+    irq_free_at_ = start + service;
+    return irq_free_at_;
+  }
+
+ private:
+  int id_;
+  std::string name_;
+  Cpu cpu_;
+  Time irq_free_at_ = 0;
+};
+
+}  // namespace oqs::sim

@@ -1,0 +1,39 @@
+// Deterministic RNG for workload generation and failure injection.
+//
+// The simulation itself never consumes randomness (determinism comes from
+// FIFO event ordering); randomness is only for generating payloads,
+// datatypes and fault schedules in tests/benches, always from a caller-
+// provided seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace oqs::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+  std::uint64_t next_u64() { return gen_(); }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen_);
+  }
+
+  double uniform_real() { return std::uniform_real_distribution<double>(0.0, 1.0)(gen_); }
+
+  bool chance(double p) { return uniform_real() < p; }
+
+  // Fill a buffer with reproducible bytes.
+  void fill(void* buf, std::size_t len) {
+    auto* p = static_cast<std::uint8_t*>(buf);
+    for (std::size_t i = 0; i < len; ++i) p[i] = static_cast<std::uint8_t>(gen_());
+  }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace oqs::sim

@@ -1,0 +1,70 @@
+// Statistics accumulators for benchmark reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace oqs::sim {
+
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    sum2_ += x * x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double stddev() const {
+    if (n_ < 2) return 0.0;
+    const double m = mean();
+    const double var = sum2_ / static_cast<double>(n_) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double sum2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Samples kept in full; used for medians/percentiles in benches.
+class Samples {
+ public:
+  void add(double x) { v_.push_back(x); }
+  std::size_t count() const { return v_.size(); }
+  double percentile(double p) {
+    if (v_.empty()) return 0.0;
+    std::vector<double> s = v_;
+    std::sort(s.begin(), s.end());
+    const double idx = p * static_cast<double>(s.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, s.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return s[lo] * (1.0 - frac) + s[hi] * frac;
+  }
+  double median() { return percentile(0.5); }
+  double mean() const {
+    if (v_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double x : v_) sum += x;
+    return sum / static_cast<double>(v_.size());
+  }
+
+ private:
+  std::vector<double> v_;
+};
+
+}  // namespace oqs::sim

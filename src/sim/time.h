@@ -1,0 +1,18 @@
+// Simulated time: unsigned nanoseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+
+namespace oqs::sim {
+
+using Time = std::uint64_t;
+
+constexpr Time kNs = 1;
+constexpr Time kUs = 1000;
+constexpr Time kMs = 1000 * 1000;
+constexpr Time kSec = 1000ull * 1000 * 1000;
+
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace oqs::sim

@@ -1,0 +1,54 @@
+// CRC32C known-answer and property tests.
+#include "base/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace oqs {
+namespace {
+
+TEST(Crc32c, KnownAnswers) {
+  // RFC 3720 test vectors for CRC32C.
+  std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::vector<std::uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+  std::vector<std::uint8_t> inc(32);
+  for (int i = 0; i < 32; ++i) inc[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(crc32c(inc.data(), inc.size()), 0x46DD794Eu);
+}
+
+TEST(Crc32c, EmptyInput) {
+  EXPECT_EQ(crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32c, SingleBitFlipChangesChecksum) {
+  sim::Rng rng(1234);
+  std::vector<std::uint8_t> buf(512);
+  rng.fill(buf.data(), buf.size());
+  const std::uint32_t base = crc32c(buf.data(), buf.size());
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::size_t byte = rng.uniform(0, buf.size() - 1);
+    const int bit = static_cast<int>(rng.uniform(0, 7));
+    buf[byte] ^= static_cast<std::uint8_t>(1 << bit);
+    EXPECT_NE(crc32c(buf.data(), buf.size()), base);
+    buf[byte] ^= static_cast<std::uint8_t>(1 << bit);  // restore
+  }
+  EXPECT_EQ(crc32c(buf.data(), buf.size()), base);
+}
+
+TEST(Crc32c, SeedChainsIncrementalUse) {
+  std::vector<std::uint8_t> buf(100);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<std::uint8_t>(i);
+  const std::uint32_t whole = crc32c(buf.data(), buf.size());
+  const std::uint32_t first = crc32c(buf.data(), 40);
+  const std::uint32_t chained = crc32c(buf.data() + 40, 60, first);
+  EXPECT_EQ(chained, whole);
+}
+
+}  // namespace
+}  // namespace oqs

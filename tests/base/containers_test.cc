@@ -1,0 +1,126 @@
+// Intrusive list and free list semantics.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "base/free_list.h"
+#include "base/intrusive_list.h"
+
+namespace oqs {
+namespace {
+
+struct TagA;
+struct TagB;
+struct Node : ListItem<TagA>, ListItem<TagB> {
+  explicit Node(int v = 0) : value(v) {}
+  int value;
+};
+
+TEST(IntrusiveList, PushPopFifo) {
+  IntrusiveList<Node, TagA> list;
+  Node a(1);
+  Node b(2);
+  Node c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.pop_front()->value, 1);
+  EXPECT_EQ(list.pop_front()->value, 2);
+  EXPECT_EQ(list.pop_front()->value, 3);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.pop_front(), nullptr);
+}
+
+TEST(IntrusiveList, PushFrontAndBack) {
+  IntrusiveList<Node, TagA> list;
+  Node a(1);
+  Node b(2);
+  list.push_back(a);
+  list.push_front(b);
+  EXPECT_EQ(list.front().value, 2);
+  EXPECT_EQ(list.back().value, 1);
+  list.clear();
+}
+
+TEST(IntrusiveList, EraseFromMiddle) {
+  IntrusiveList<Node, TagA> list;
+  std::array<Node, 5> nodes;
+  for (int i = 0; i < 5; ++i) nodes[static_cast<std::size_t>(i)].value = i;
+  for (auto& n : nodes) list.push_back(n);
+  list.erase(nodes[2]);
+  EXPECT_FALSE(static_cast<ListItem<TagA>&>(nodes[2]).linked());
+  std::vector<int> got;
+  for (Node& n : list) got.push_back(n.value);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 3, 4}));
+  list.clear();
+}
+
+TEST(IntrusiveList, IteratorEraseReturnsNext) {
+  IntrusiveList<Node, TagA> list;
+  std::array<Node, 4> nodes;
+  for (int i = 0; i < 4; ++i) nodes[static_cast<std::size_t>(i)].value = i;
+  for (auto& n : nodes) list.push_back(n);
+  for (auto it = list.begin(); it != list.end();) {
+    if (it->value % 2 == 0)
+      it = list.erase(it);
+    else
+      ++it;
+  }
+  std::vector<int> got;
+  for (Node& n : list) got.push_back(n.value);
+  EXPECT_EQ(got, (std::vector<int>{1, 3}));
+  list.clear();
+}
+
+TEST(IntrusiveList, TwoTagsIndependentMembership) {
+  IntrusiveList<Node, TagA> la;
+  IntrusiveList<Node, TagB> lb;
+  Node n(7);
+  la.push_back(n);
+  lb.push_back(n);  // same object on two lists via distinct tags
+  EXPECT_EQ(la.size(), 1u);
+  EXPECT_EQ(lb.size(), 1u);
+  la.erase(n);
+  EXPECT_EQ(lb.size(), 1u);  // still on the other list
+  lb.erase(n);
+}
+
+TEST(FreeList, RecyclesObjects) {
+  FreeList<Node> pool(2, 2);
+  Node* a = pool.get();
+  Node* b = pool.get();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.outstanding(), 2u);
+  pool.put(a);
+  Node* c = pool.get();
+  EXPECT_EQ(c, a);  // recycled, not newly allocated
+  pool.put(b);
+  pool.put(c);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(FreeList, GrowsOnDemand) {
+  FreeList<Node> pool(1, 4);
+  std::vector<Node*> got;
+  for (int i = 0; i < 9; ++i) got.push_back(pool.get());
+  EXPECT_GE(pool.total(), 9u);
+  for (Node* n : got) pool.put(n);
+}
+
+TEST(FreeList, RespectsMaxBound) {
+  FreeList<Node> pool(1, 1, /*max=*/3);
+  Node* a = pool.get();
+  Node* b = pool.get();
+  Node* c = pool.get();
+  EXPECT_EQ(pool.get(), nullptr);  // exhausted
+  pool.put(a);
+  EXPECT_NE(pool.get(), nullptr);
+  pool.put(b);
+  pool.put(c);
+}
+
+}  // namespace
+}  // namespace oqs

@@ -1,0 +1,60 @@
+// Dynamic context claiming in the system-wide capability (paper §4.1/§5).
+#include "elan4/capability.h"
+
+#include <gtest/gtest.h>
+
+namespace oqs::elan4 {
+namespace {
+
+TEST(Capability, ClaimAssignsNodeLocalContexts) {
+  SystemCapability cap(4, 2);
+  Vpid a = cap.claim(0);
+  Vpid b = cap.claim(0);
+  Vpid c = cap.claim(3);
+  EXPECT_NE(a, kInvalidVpid);
+  EXPECT_NE(b, kInvalidVpid);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(cap.node_of(a), 0);
+  EXPECT_EQ(cap.node_of(b), 0);
+  EXPECT_EQ(cap.node_of(c), 3);
+  EXPECT_NE(cap.context_of(a), cap.context_of(b));
+  EXPECT_EQ(cap.live_count(), 3);
+}
+
+TEST(Capability, ExhaustionReturnsInvalid) {
+  SystemCapability cap(1, 2);
+  EXPECT_NE(cap.claim(0), kInvalidVpid);
+  EXPECT_NE(cap.claim(0), kInvalidVpid);
+  EXPECT_EQ(cap.claim(0), kInvalidVpid);
+}
+
+TEST(Capability, ReleaseMakesContextReclaimable) {
+  SystemCapability cap(1, 1);
+  Vpid a = cap.claim(0);
+  EXPECT_EQ(cap.claim(0), kInvalidVpid);
+  EXPECT_EQ(cap.release(a), Status::kOk);
+  EXPECT_FALSE(cap.is_live(a));
+  Vpid b = cap.claim(0);
+  EXPECT_NE(b, kInvalidVpid);  // a restarted process re-joins (checkpoint/restart)
+}
+
+TEST(Capability, DoubleReleaseIsAnError) {
+  SystemCapability cap(2, 2);
+  Vpid a = cap.claim(1);
+  EXPECT_EQ(cap.release(a), Status::kOk);
+  EXPECT_EQ(cap.release(a), Status::kBadParam);
+  EXPECT_EQ(cap.release(static_cast<Vpid>(999)), Status::kBadParam);
+}
+
+TEST(Capability, VpidsAreStableWhileLive) {
+  SystemCapability cap(2, 4);
+  Vpid a = cap.claim(0);
+  Vpid b = cap.claim(1);
+  cap.release(a);
+  // b unaffected by a's departure — membership change does not abort peers.
+  EXPECT_TRUE(cap.is_live(b));
+  EXPECT_EQ(cap.node_of(b), 1);
+}
+
+}  // namespace
+}  // namespace oqs::elan4

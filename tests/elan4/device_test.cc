@@ -1,0 +1,140 @@
+// Elan4Device host-API semantics: lifecycle, shutdown behaviour, queue and
+// mapping bookkeeping.
+#include <gtest/gtest.h>
+
+#include "elan4/device.h"
+#include "elan4/qsnet.h"
+
+namespace oqs::elan4 {
+namespace {
+
+struct DeviceFixture : ::testing::Test {
+  sim::Engine engine;
+  ModelParams params;
+  std::unique_ptr<QsNet> net;
+
+  void SetUp() override { net = std::make_unique<QsNet>(engine, params, 2, 4); }
+};
+
+TEST_F(DeviceFixture, OpenClaimsAndCloseReleases) {
+  auto d = net->open(0);
+  ASSERT_TRUE(d);
+  EXPECT_TRUE(net->capability().is_live(d->vpid()));
+  EXPECT_EQ(net->node_of(d->vpid()), 0);
+  d->close();
+  EXPECT_TRUE(d->closed());
+  EXPECT_EQ(net->capability().live_count(), 0);
+}
+
+TEST_F(DeviceFixture, DestructorClosesImplicitly) {
+  {
+    auto d = net->open(1);
+    ASSERT_TRUE(d);
+  }
+  EXPECT_EQ(net->capability().live_count(), 0);
+}
+
+TEST_F(DeviceFixture, ExhaustionAndReuse) {
+  std::vector<std::unique_ptr<Elan4Device>> devs;
+  for (int i = 0; i < 4; ++i) {
+    devs.push_back(net->open(0));
+    ASSERT_TRUE(devs.back());
+  }
+  EXPECT_EQ(net->open(0), nullptr);  // node 0 exhausted
+  EXPECT_NE(net->open(1), nullptr);  // node 1 unaffected
+  devs[2]->close();
+  auto fresh = net->open(0);
+  EXPECT_NE(fresh, nullptr);  // released context reclaimed
+}
+
+TEST_F(DeviceFixture, PostAfterCloseIsRejected) {
+  auto d0 = net->open(0);
+  auto d1 = net->open(1);
+  engine.spawn("t", [&] {
+    QdmaQueue* q = d1->create_queue(4);
+    d0->close();
+    std::vector<std::uint8_t> m{1};
+    EXPECT_EQ(d0->post_qdma(d1->vpid(), q->id(), m), Status::kShutdown);
+    EXPECT_EQ(d0->rdma_write(d1->vpid(), 0x10000, 0x10000, 8, nullptr),
+              Status::kShutdown);
+    EXPECT_EQ(d0->rdma_read(d1->vpid(), 0x10000, 0x10000, 8, nullptr),
+              Status::kShutdown);
+  });
+  engine.run();
+}
+
+TEST_F(DeviceFixture, CloseDestroysOwnQueues) {
+  auto d0 = net->open(0);
+  auto d1 = net->open(1);
+  int qid = -1;
+  engine.spawn("t", [&] {
+    QdmaQueue* q = d1->create_queue(4);
+    qid = q->id();
+    d1->close();
+    // The queue is gone from the NIC: traffic for it is dropped.
+    std::vector<std::uint8_t> m{1};
+    d0->post_qdma(static_cast<Vpid>(64), qid, m);  // old vpid is dead anyway
+  });
+  engine.run();
+  EXPECT_EQ(net->nic(1).find_queue(qid), nullptr);
+}
+
+TEST_F(DeviceFixture, QueueDestroyStopsDelivery) {
+  auto d0 = net->open(0);
+  auto d1 = net->open(1);
+  engine.spawn("t", [&] {
+    QdmaQueue* q = d1->create_queue(4);
+    const int id = q->id();
+    EXPECT_EQ(d1->destroy_queue(q), Status::kOk);
+    std::vector<std::uint8_t> m{1};
+    d0->post_qdma(d1->vpid(), id, m);
+    engine.sleep(sim::kMs);
+    EXPECT_GE(net->nic(1).rx_drops(), 1u);
+  });
+  engine.run();
+}
+
+TEST_F(DeviceFixture, MapUnmapBookkeeping) {
+  auto d = net->open(0);
+  std::vector<char> buf(1024);
+  engine.spawn("t", [&] {
+    const E4Addr a = d->map(buf.data(), buf.size());
+    EXPECT_EQ(d->nic().mmu(d->context()).num_mappings(), 1u);
+    EXPECT_EQ(d->unmap(a), Status::kOk);
+    EXPECT_EQ(d->nic().mmu(d->context()).num_mappings(), 0u);
+    EXPECT_EQ(d->unmap(a), Status::kNotFound);
+  });
+  engine.run();
+}
+
+TEST_F(DeviceFixture, ComputeChargesSimulatedTime) {
+  auto d = net->open(0);
+  sim::Time took = 0;
+  engine.spawn("t", [&] {
+    const sim::Time t0 = engine.now();
+    d->compute(12345);
+    took = engine.now() - t0;
+  });
+  engine.run();
+  EXPECT_EQ(took, 12345u);
+}
+
+TEST_F(DeviceFixture, TwoContextsSameNodeHaveIsolatedMmus) {
+  auto a = net->open(0);
+  auto b = net->open(0);
+  std::vector<char> buf_a(64);
+  std::vector<char> buf_b(64);
+  engine.spawn("t", [&] {
+    const E4Addr addr_a = a->map(buf_a.data(), 64);
+    const E4Addr addr_b = b->map(buf_b.data(), 64);
+    // Same NIC, same bump-allocator start: equal values, different tables.
+    EXPECT_EQ(addr_a, addr_b);
+    Status st;
+    EXPECT_EQ(a->nic().mmu(a->context()).translate(addr_a, 64, &st), buf_a.data());
+    EXPECT_EQ(b->nic().mmu(b->context()).translate(addr_b, 64, &st), buf_b.data());
+  });
+  engine.run();
+}
+
+}  // namespace
+}  // namespace oqs::elan4

@@ -1,0 +1,92 @@
+// E4_Addr translation: mapping, offsets, faults.
+#include "elan4/mmu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oqs::elan4 {
+namespace {
+
+TEST(Mmu, MapAndTranslateBase) {
+  Mmu mmu;
+  std::vector<char> buf(4096);
+  E4Addr a = mmu.map(buf.data(), buf.size());
+  Status st = Status::kError;
+  void* p = mmu.translate(a, 4096, &st);
+  EXPECT_EQ(st, Status::kOk);
+  EXPECT_EQ(p, buf.data());
+}
+
+TEST(Mmu, TranslateInteriorOffset) {
+  Mmu mmu;
+  std::vector<char> buf(4096);
+  E4Addr a = mmu.map(buf.data(), buf.size());
+  Status st = Status::kError;
+  void* p = mmu.translate(a + 100, 96, &st);
+  EXPECT_EQ(st, Status::kOk);
+  EXPECT_EQ(p, buf.data() + 100);
+}
+
+TEST(Mmu, OverrunFaults) {
+  Mmu mmu;
+  std::vector<char> buf(1024);
+  E4Addr a = mmu.map(buf.data(), buf.size());
+  Status st = Status::kOk;
+  EXPECT_EQ(mmu.translate(a + 1000, 100, &st), nullptr);
+  EXPECT_EQ(st, Status::kFault);
+  EXPECT_EQ(mmu.faults(), 1u);
+}
+
+TEST(Mmu, NullAndUnmappedFault) {
+  Mmu mmu;
+  Status st = Status::kOk;
+  EXPECT_EQ(mmu.translate(kNullE4Addr, 1, &st), nullptr);
+  EXPECT_EQ(st, Status::kFault);
+  std::vector<char> buf(64);
+  mmu.map(buf.data(), buf.size());
+  EXPECT_EQ(mmu.translate(0x1, 1, &st), nullptr);
+  EXPECT_EQ(st, Status::kFault);
+}
+
+TEST(Mmu, DistinctMappingsDoNotAlias) {
+  Mmu mmu;
+  std::vector<char> b1(8192);
+  std::vector<char> b2(8192);
+  E4Addr a1 = mmu.map(b1.data(), b1.size());
+  E4Addr a2 = mmu.map(b2.data(), b2.size());
+  EXPECT_NE(a1, a2);
+  Status st;
+  EXPECT_EQ(mmu.translate(a1, 8192, &st), b1.data());
+  EXPECT_EQ(mmu.translate(a2, 8192, &st), b2.data());
+  // The gap between regions faults.
+  EXPECT_EQ(mmu.translate(a1 + 8192, 1, &st), nullptr);
+}
+
+TEST(Mmu, UnmapInvalidatesTranslation) {
+  Mmu mmu;
+  std::vector<char> buf(256);
+  E4Addr a = mmu.map(buf.data(), buf.size());
+  EXPECT_EQ(mmu.unmap(a), Status::kOk);
+  Status st;
+  EXPECT_EQ(mmu.translate(a, 1, &st), nullptr);
+  EXPECT_EQ(mmu.unmap(a), Status::kNotFound);
+}
+
+TEST(Mmu, ManyMappingsResolveCorrectly) {
+  Mmu mmu;
+  std::vector<std::vector<char>> bufs;
+  std::vector<E4Addr> addrs;
+  for (int i = 0; i < 100; ++i) {
+    bufs.emplace_back(static_cast<std::size_t>(64 + i * 33));
+    addrs.push_back(mmu.map(bufs.back().data(), bufs.back().size()));
+  }
+  Status st;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(mmu.translate(addrs[static_cast<std::size_t>(i)], 64, &st),
+              bufs[static_cast<std::size_t>(i)].data());
+  }
+}
+
+}  // namespace
+}  // namespace oqs::elan4

@@ -1,0 +1,135 @@
+// Property sweeps over the NIC data path: every size/offset/direction
+// combination must move exactly the right bytes, and engine accounting
+// must add up.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "elan4/device.h"
+#include "elan4/qsnet.h"
+#include "sim/rng.h"
+
+namespace oqs::elan4 {
+namespace {
+
+struct SweepCase {
+  std::size_t bytes;
+  std::size_t src_offset;
+  std::size_t dst_offset;
+  bool use_read;
+};
+
+class RdmaSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RdmaSweep, ExactBytesMoveNoNeighbourDamage) {
+  const SweepCase& sc = GetParam();
+  sim::Engine engine;
+  ModelParams params;
+  QsNet net(engine, params, 2);
+  auto d0 = net.open(0);
+  auto d1 = net.open(1);
+
+  // Buffer `a` lives with (and is mapped by) d0; buffer `b` with d1.
+  // Write: pattern in a, d0 pushes a -> b. Read: pattern in b, d0 pulls
+  // b -> a. Either way `landed` starts as 0xEE canary.
+  const std::size_t span = sc.bytes + sc.src_offset + sc.dst_offset + 64;
+  std::vector<std::uint8_t> a(span, 0xEE);
+  std::vector<std::uint8_t> b(span, 0xEE);
+  std::vector<std::uint8_t>& pattern = sc.use_read ? b : a;
+  std::vector<std::uint8_t>& landed = sc.use_read ? a : b;
+  sim::Rng rng(sc.bytes * 31 + sc.src_offset);
+  rng.fill(pattern.data(), pattern.size());
+
+  engine.spawn("t", [&] {
+    const E4Addr addr_a = d0->map(a.data(), a.size());
+    const E4Addr addr_b = d1->map(b.data(), b.size());
+    E4Event* done = d0->alloc_event("sweep");
+    done->init(1);
+    if (sc.use_read) {
+      d0->rdma_read(d1->vpid(), addr_b + sc.src_offset, addr_a + sc.dst_offset,
+                    static_cast<std::uint32_t>(sc.bytes), done);
+    } else {
+      d0->rdma_write(d1->vpid(), addr_a + sc.src_offset, addr_b + sc.dst_offset,
+                     static_cast<std::uint32_t>(sc.bytes), done);
+    }
+    done->wait_block();
+    EXPECT_EQ(done->status(), Status::kOk);
+  });
+  engine.run();
+
+  for (std::size_t i = 0; i < sc.bytes; ++i)
+    ASSERT_EQ(landed[sc.dst_offset + i], pattern[sc.src_offset + i]) << i;
+  // Bytes before/after the landing zone untouched.
+  for (std::size_t i = 0; i < sc.dst_offset; ++i) ASSERT_EQ(landed[i], 0xEE);
+  for (std::size_t i = sc.dst_offset + sc.bytes; i < landed.size(); ++i)
+    ASSERT_EQ(landed[i], 0xEE) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesOffsets, RdmaSweep,
+    ::testing::Values(SweepCase{1, 0, 0, false}, SweepCase{1, 13, 7, false},
+                      SweepCase{2047, 0, 0, false}, SweepCase{2048, 5, 9, false},
+                      SweepCase{2049, 0, 3, false}, SweepCase{6000, 1, 1, false},
+                      SweepCase{65536, 0, 0, false}, SweepCase{1, 0, 0, true},
+                      SweepCase{2048, 3, 3, true}, SweepCase{2049, 0, 0, true},
+                      SweepCase{100000, 11, 4, true}));
+
+TEST(EngineAccounting, TxBusyMatchesPciOccupancy) {
+  sim::Engine engine;
+  ModelParams params;
+  QsNet net(engine, params, 2);
+  auto d0 = net.open(0);
+  auto d1 = net.open(1);
+  const std::size_t bytes = 1 << 20;
+  std::vector<std::uint8_t> src(bytes, 1);
+  std::vector<std::uint8_t> dst(bytes, 0);
+  engine.spawn("t", [&] {
+    const E4Addr a = d0->map(src.data(), bytes);
+    const E4Addr b = d1->map(dst.data(), bytes);
+    E4Event* done = d0->alloc_event("e");
+    done->init(1);
+    d0->rdma_write(d1->vpid(), a, b, bytes, done);
+    done->wait_block();
+  });
+  engine.run();
+  // tx engine busy time >= pure PCI transfer time of the payload.
+  const sim::Time pci = ModelParams::xfer_ns(bytes, params.pci_mbps);
+  EXPECT_GE(net.nic(0).tx_engine().busy_ns(), pci);
+  EXPECT_LT(net.nic(0).tx_engine().busy_ns(), pci + pci / 4);
+  // rx engine on the destination absorbed the same bytes.
+  EXPECT_GE(net.nic(1).rx_engine().busy_ns(), pci);
+}
+
+TEST(QsNetFaults, CorruptionCounterAndDeterminism) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Engine engine;
+    ModelParams params;
+    QsNet net(engine, params, 2);
+    net.set_corruption(0.5, seed);
+    auto d0 = net.open(0);
+    auto d1 = net.open(1);
+    std::vector<std::uint8_t> src(65536, 0xAA);
+    std::vector<std::uint8_t> dst(65536, 0);
+    engine.spawn("t", [&] {
+      const E4Addr a = d0->map(src.data(), src.size());
+      const E4Addr b = d1->map(dst.data(), dst.size());
+      E4Event* done = d0->alloc_event("e");
+      done->init(1);
+      d0->rdma_write(d1->vpid(), a, b, 65536, done);
+      done->wait_block();
+    });
+    engine.run();
+    return std::make_pair(net.corruptions(), dst);
+  };
+  auto [n1, d1v] = run_once(7);
+  auto [n2, d2v] = run_once(7);
+  EXPECT_GT(n1, 0u);
+  EXPECT_EQ(n1, n2);   // deterministic per seed
+  EXPECT_EQ(d1v, d2v); // byte-identical damage
+  auto [n3, d3v] = run_once(8);
+  (void)n3;
+  EXPECT_NE(d1v, d3v);  // different seed, different damage
+}
+
+}  // namespace
+}  // namespace oqs::elan4

@@ -1,0 +1,150 @@
+// MPI-2 dynamic process management — the paper's first objective: processes
+// join the Quadrics network at arbitrary times by claiming contexts in the
+// system-wide capability, and wire up with the existing pool via the RTE.
+#include <gtest/gtest.h>
+
+#include "testbed.h"
+
+namespace oqs {
+namespace {
+
+using test::TestBed;
+
+TEST(Dynamic, SpawnedProcessTalksToParents) {
+  TestBed bed;
+  int child_ran = 0;
+  bed.run_mpi(2, [&](mpi::World& w) {
+    auto& c = w.comm();
+    mpi::Communicator merged = w.spawn_merge(1, [&](mpi::World& cw) {
+      auto& mc = cw.comm();
+      EXPECT_EQ(mc.size(), 3);
+      EXPECT_EQ(mc.rank(), 2);
+      // Child receives from each parent and echoes the sum.
+      std::uint32_t a = 0;
+      std::uint32_t b = 0;
+      mc.recv(&a, 4, dtype::byte_type(), 0, 1);
+      mc.recv(&b, 4, dtype::byte_type(), 1, 1);
+      std::uint32_t sum = a + b;
+      mc.send(&sum, 4, dtype::byte_type(), 0, 2);
+      mc.barrier();
+      ++child_ran;
+    });
+    EXPECT_EQ(merged.size(), 3);
+    EXPECT_EQ(merged.rank(), c.rank());
+    std::uint32_t v = c.rank() == 0 ? 11u : 31u;
+    merged.send(&v, 4, dtype::byte_type(), 2, 1);
+    if (c.rank() == 0) {
+      std::uint32_t sum = 0;
+      merged.recv(&sum, 4, dtype::byte_type(), 2, 2);
+      EXPECT_EQ(sum, 42u);
+    }
+    merged.barrier();
+  });
+  EXPECT_EQ(child_ran, 1);
+}
+
+TEST(Dynamic, SpawnMultipleChildrenLargePayload) {
+  TestBed bed;
+  bed.run_mpi(2, [&](mpi::World& w) {
+    mpi::Communicator merged = w.spawn_merge(3, [&](mpi::World& cw) {
+      auto& mc = cw.comm();
+      EXPECT_EQ(mc.size(), 5);
+      // Each child sends 100KB (rendezvous path) to parent rank 0.
+      std::vector<std::uint8_t> data(100000,
+                                     static_cast<std::uint8_t>(mc.rank()));
+      mc.send(data.data(), data.size(), dtype::byte_type(), 0, 9);
+      mc.barrier();
+    });
+    if (merged.rank() == 0) {
+      for (int child = 2; child < 5; ++child) {
+        std::vector<std::uint8_t> buf(100000, 0);
+        mpi::RecvStatus st;
+        merged.recv(buf.data(), buf.size(), dtype::byte_type(), mpi::kAnySource,
+                    9, &st);
+        EXPECT_GE(st.source, 2);
+        EXPECT_EQ(buf, std::vector<std::uint8_t>(
+                           100000, static_cast<std::uint8_t>(st.source)));
+      }
+    }
+    merged.barrier();
+  });
+}
+
+TEST(Dynamic, SequentialSpawnsGetFreshGids) {
+  TestBed bed;
+  bed.run_mpi(2, [&](mpi::World& w) {
+    mpi::Communicator m1 = w.spawn_merge(1, [](mpi::World& cw) {
+      std::uint32_t v = 1;
+      cw.comm().send(&v, 4, dtype::byte_type(), 0, 0);
+      cw.comm().barrier();
+    });
+    mpi::Communicator m2 = w.spawn_merge(1, [](mpi::World& cw) {
+      std::uint32_t v = 2;
+      cw.comm().send(&v, 4, dtype::byte_type(), 0, 0);
+      cw.comm().barrier();
+    });
+    EXPECT_NE(m1.context_id(), m2.context_id());
+    if (w.rank() == 0) {
+      std::uint32_t a = 0;
+      std::uint32_t b = 0;
+      m1.recv(&a, 4, dtype::byte_type(), 2, 0);
+      m2.recv(&b, 4, dtype::byte_type(), 2, 0);
+      EXPECT_EQ(a, 1u);
+      EXPECT_EQ(b, 2u);
+    }
+    m1.barrier();
+    m2.barrier();
+  });
+}
+
+TEST(Dynamic, ContextsAreReusedAfterFinalize) {
+  // A process pool that leaves releases its Elan contexts; a later job can
+  // claim them (checkpoint/restart support, paper §3/§4.1).
+  sim::Engine engine;
+  ModelParams params;
+  elan4::QsNet net(engine, params, 2, /*contexts_per_node=*/4);
+  rte::Runtime rt(engine, net);
+
+  rt.launch(2, [&](rte::Env& env) {
+    env.job = "first";
+    mpi::World w(env, net);
+    w.comm().barrier();
+    w.finalize();
+  });
+  engine.run();
+  const int live_after_first = net.capability().live_count();
+  EXPECT_EQ(live_after_first, 0);
+
+  rt.launch(2, [&](rte::Env& env) {
+    env.job = "second";
+    mpi::World w(env, net);
+    std::uint32_t v = 5;
+    if (w.rank() == 0) w.comm().send(&v, 4, dtype::byte_type(), 1, 0);
+    else {
+      std::uint32_t got = 0;
+      w.comm().recv(&got, 4, dtype::byte_type(), 0, 0);
+      EXPECT_EQ(got, 5u);
+    }
+    w.comm().barrier();
+  });
+  engine.run();
+  EXPECT_EQ(net.capability().live_count(), 0);
+}
+
+TEST(Dynamic, SpawnOntoSpecificNodes) {
+  TestBed bed(8);
+  bed.run_mpi(2, [&](mpi::World& w) {
+    mpi::Communicator merged = w.spawn_merge(
+        2,
+        [](mpi::World& cw) {
+          // Children run on nodes 6 and 7.
+          EXPECT_GE(cw.env().node, 6);
+          cw.comm().barrier();
+        },
+        /*nodes=*/{6, 7});
+    merged.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace oqs

@@ -1,0 +1,165 @@
+// Edge cases across the public API: singleton jobs, degenerate collectives,
+// zero-byte traffic, tag extremes, deep communicator nesting.
+#include <gtest/gtest.h>
+
+#include "testbed.h"
+
+namespace oqs {
+namespace {
+
+using test::TestBed;
+
+TEST(Edge, SingletonWorldCollectivesAreNoops) {
+  TestBed bed;
+  bed.run_mpi(1, [&](mpi::World& w) {
+    auto& c = w.comm();
+    EXPECT_EQ(c.size(), 1);
+    c.barrier();
+    std::uint32_t v = 5;
+    c.bcast(&v, 4, dtype::byte_type(), 0);
+    EXPECT_EQ(v, 5u);
+    double x = 2.5;
+    double sum = 0;
+    c.allreduce_sum(&x, &sum, 1);
+    EXPECT_DOUBLE_EQ(sum, 2.5);
+    std::uint32_t g = 0;
+    c.gather(&v, 4, &g, 0);
+    EXPECT_EQ(g, 5u);
+    c.alltoall(&v, 4, &g);
+    EXPECT_EQ(g, 5u);
+  });
+}
+
+TEST(Edge, SelfSendRecvCompletes) {
+  TestBed bed;
+  bed.run_mpi(2, [&](mpi::World& w) {
+    auto& c = w.comm();
+    std::uint32_t out = 42 + static_cast<std::uint32_t>(c.rank());
+    std::uint32_t in = 0;
+    mpi::Request r = c.irecv(&in, 4, dtype::byte_type(), c.rank(), 9);
+    c.send(&out, 4, dtype::byte_type(), c.rank(), 9);
+    r.wait();
+    EXPECT_EQ(in, out);
+    c.barrier();
+  });
+}
+
+TEST(Edge, ZeroByteMessagesMatchAndCount) {
+  TestBed bed;
+  bed.run_mpi(2, [&](mpi::World& w) {
+    auto& c = w.comm();
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i)
+        c.send(nullptr, 0, dtype::byte_type(), 1, i);
+    } else {
+      // Receive out of order by tag; every zero-byte message matches.
+      for (int i = 9; i >= 0; --i) {
+        mpi::RecvStatus st;
+        c.recv(nullptr, 0, dtype::byte_type(), 0, i, &st);
+        EXPECT_EQ(st.tag, i);
+        EXPECT_EQ(st.bytes, 0u);
+      }
+    }
+    c.barrier();
+  });
+}
+
+TEST(Edge, LargeTagValues) {
+  TestBed bed;
+  bed.run_mpi(2, [&](mpi::World& w) {
+    auto& c = w.comm();
+    const int big_tag = 0x3FFFFFFF;  // below the collective-reserved space
+    std::uint32_t v = 7;
+    if (c.rank() == 0)
+      c.send(&v, 4, dtype::byte_type(), 1, big_tag);
+    else {
+      std::uint32_t got = 0;
+      mpi::RecvStatus st;
+      c.recv(&got, 4, dtype::byte_type(), 0, big_tag, &st);
+      EXPECT_EQ(got, 7u);
+      EXPECT_EQ(st.tag, big_tag);
+    }
+    c.barrier();
+  });
+}
+
+TEST(Edge, NestedSplitsAndDups) {
+  TestBed bed;
+  bed.run_mpi(8, [&](mpi::World& w) {
+    auto& c = w.comm();
+    mpi::Communicator half = c.split(c.rank() / 4, c.rank());
+    mpi::Communicator quarter = half.split(half.rank() / 2, half.rank());
+    mpi::Communicator qd = quarter.dup();
+    EXPECT_EQ(quarter.size(), 2);
+    // All three levels carry independent traffic simultaneously.
+    std::uint32_t a = static_cast<std::uint32_t>(c.rank());
+    std::uint32_t b = 0;
+    qd.sendrecv(&a, 4, 1 - qd.rank(), 0, &b, 4, 1 - qd.rank(), 0,
+                dtype::byte_type());
+    // The pair partner within the quarter is rank^1 in world terms.
+    EXPECT_EQ(b, static_cast<std::uint32_t>(c.rank() ^ 1));
+    double x = 1;
+    double sum = 0;
+    half.allreduce_sum(&x, &sum, 1);
+    EXPECT_DOUBLE_EQ(sum, 4.0);
+    c.barrier();
+  });
+}
+
+TEST(Edge, ManySmallCommunicatorsDoNotCollide) {
+  TestBed bed;
+  bed.run_mpi(4, [&](mpi::World& w) {
+    auto& c = w.comm();
+    std::vector<mpi::Communicator> comms;
+    for (int i = 0; i < 10; ++i) comms.push_back(c.dup());
+    // Fire the same (src, tag) on every communicator; each must match its own.
+    std::vector<mpi::Request> reqs;
+    std::vector<std::uint32_t> in(10, 0);
+    std::vector<std::uint32_t> out(10);
+    const int peer = c.rank() ^ 1;
+    for (int i = 0; i < 10; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          static_cast<std::uint32_t>(1000 * i + c.rank());
+      reqs.push_back(comms[static_cast<std::size_t>(i)].irecv(
+          &in[static_cast<std::size_t>(i)], 4, dtype::byte_type(), peer, 3));
+    }
+    for (int i = 9; i >= 0; --i)  // send in reverse communicator order
+      reqs.push_back(comms[static_cast<std::size_t>(i)].isend(
+          &out[static_cast<std::size_t>(i)], 4, dtype::byte_type(), peer, 3));
+    mpi::wait_all(reqs);
+    for (int i = 0; i < 10; ++i)
+      EXPECT_EQ(in[static_cast<std::size_t>(i)],
+                static_cast<std::uint32_t>(1000 * i + peer));
+    c.barrier();
+  });
+}
+
+TEST(Edge, InterleavedWildcardAndDirectedRecvs) {
+  TestBed bed;
+  bed.run_mpi(3, [&](mpi::World& w) {
+    auto& c = w.comm();
+    if (c.rank() != 0) {
+      std::uint32_t v = static_cast<std::uint32_t>(c.rank() * 10);
+      c.send(&v, 4, dtype::byte_type(), 0, 1);
+      c.send(&v, 4, dtype::byte_type(), 0, 2);
+    } else {
+      // A directed recv must not steal a wildcard's message and vice versa.
+      std::uint32_t from2 = 0;
+      c.recv(&from2, 4, dtype::byte_type(), 2, 1);
+      EXPECT_EQ(from2, 20u);
+      std::uint32_t any = 0;
+      mpi::RecvStatus st;
+      c.recv(&any, 4, dtype::byte_type(), mpi::kAnySource, 1, &st);
+      EXPECT_EQ(st.source, 1);
+      EXPECT_EQ(any, 10u);
+      for (int i = 0; i < 2; ++i) {
+        std::uint32_t x = 0;
+        c.recv(&x, 4, dtype::byte_type(), mpi::kAnySource, 2);
+      }
+    }
+    c.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace oqs

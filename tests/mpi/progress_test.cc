@@ -1,0 +1,184 @@
+// Progress machinery: polling vs interrupt vs one/two progress threads, and
+// the completion-queue variants (paper §4.3, §6.2, §6.4).
+#include <gtest/gtest.h>
+
+#include "testbed.h"
+
+namespace oqs {
+namespace {
+
+using test::TestBed;
+
+struct ProgressCase {
+  ptl_elan4::Progress progress;
+  ptl_elan4::Completion completion;
+  ptl_elan4::Scheme scheme;
+};
+
+class ProgressModes : public ::testing::TestWithParam<ProgressCase> {};
+
+TEST_P(ProgressModes, PingPongSmallAndLarge) {
+  const ProgressCase& pc = GetParam();
+  mpi::Options opts;
+  opts.elan4.progress = pc.progress;
+  opts.elan4.completion = pc.completion;
+  opts.elan4.scheme = pc.scheme;
+
+  TestBed bed;
+  int done = 0;
+  bed.run_mpi(2, [&](mpi::World& w) {
+    auto& c = w.comm();
+    for (std::size_t bytes : {4ul, 4096ul, 100000ul}) {
+      std::vector<std::uint8_t> buf(bytes, static_cast<std::uint8_t>(bytes));
+      if (c.rank() == 0) {
+        c.send(buf.data(), bytes, dtype::byte_type(), 1, 0);
+        std::vector<std::uint8_t> back(bytes, 0);
+        c.recv(back.data(), bytes, dtype::byte_type(), 1, 0);
+        EXPECT_EQ(back, buf);
+      } else {
+        std::vector<std::uint8_t> got(bytes, 0);
+        c.recv(got.data(), bytes, dtype::byte_type(), 0, 0);
+        c.send(got.data(), bytes, dtype::byte_type(), 0, 0);
+      }
+    }
+    c.barrier();
+    ++done;
+  }, opts);
+  EXPECT_EQ(done, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ProgressModes,
+    ::testing::Values(
+        ProgressCase{ptl_elan4::Progress::kPolling, ptl_elan4::Completion::kDirectPoll,
+                     ptl_elan4::Scheme::kRdmaRead},
+        ProgressCase{ptl_elan4::Progress::kPolling, ptl_elan4::Completion::kDirectPoll,
+                     ptl_elan4::Scheme::kRdmaWrite},
+        ProgressCase{ptl_elan4::Progress::kPolling,
+                     ptl_elan4::Completion::kSharedCombined,
+                     ptl_elan4::Scheme::kRdmaRead},
+        ProgressCase{ptl_elan4::Progress::kPolling,
+                     ptl_elan4::Completion::kSharedSeparate,
+                     ptl_elan4::Scheme::kRdmaRead},
+        ProgressCase{ptl_elan4::Progress::kInterrupt,
+                     ptl_elan4::Completion::kSharedCombined,
+                     ptl_elan4::Scheme::kRdmaRead},
+        ProgressCase{ptl_elan4::Progress::kOneThread,
+                     ptl_elan4::Completion::kSharedCombined,
+                     ptl_elan4::Scheme::kRdmaRead},
+        ProgressCase{ptl_elan4::Progress::kOneThread,
+                     ptl_elan4::Completion::kSharedCombined,
+                     ptl_elan4::Scheme::kRdmaWrite},
+        ProgressCase{ptl_elan4::Progress::kTwoThreads,
+                     ptl_elan4::Completion::kSharedSeparate,
+                     ptl_elan4::Scheme::kRdmaRead}));
+
+TEST(Progress, LatencyOrderingAcrossModes) {
+  // Table 1's qualitative ordering must emerge from the model:
+  // polling < interrupt < one-thread < two-thread latency.
+  auto measure = [](ptl_elan4::Progress mode) {
+    mpi::Options opts;
+    opts.elan4.progress = mode;
+    opts.elan4.scheme = ptl_elan4::Scheme::kRdmaRead;
+    TestBed bed;
+    double us = 0;
+    bed.run_mpi(2, [&](mpi::World& w) {
+      auto& c = w.comm();
+      std::uint32_t v = 0;
+      constexpr int kIters = 60;
+      c.barrier();
+      const sim::Time t0 = w.net().engine().now();
+      for (int i = 0; i < kIters; ++i) {
+        if (c.rank() == 0) {
+          c.send(&v, 4, dtype::byte_type(), 1, 0);
+          c.recv(&v, 4, dtype::byte_type(), 1, 0);
+        } else {
+          c.recv(&v, 4, dtype::byte_type(), 0, 0);
+          c.send(&v, 4, dtype::byte_type(), 0, 0);
+        }
+      }
+      if (c.rank() == 0)
+        us = sim::to_us(w.net().engine().now() - t0) / (2.0 * kIters);
+      c.barrier();
+    }, opts);
+    return us;
+  };
+
+  const double poll = measure(ptl_elan4::Progress::kPolling);
+  const double irq = measure(ptl_elan4::Progress::kInterrupt);
+  const double one = measure(ptl_elan4::Progress::kOneThread);
+  const double two = measure(ptl_elan4::Progress::kTwoThreads);
+  EXPECT_LT(poll, irq);
+  EXPECT_LT(irq, one);
+  EXPECT_LT(one, two);
+  // Interrupt adds roughly the interrupt latency (~10us paper, ±50%).
+  EXPECT_GT(irq - poll, 5.0);
+  EXPECT_LT(irq - poll, 25.0);
+}
+
+TEST(Progress, DatatypeEngineAddsStartupCost) {
+  auto measure = [](bool engine_on) {
+    mpi::Options opts;
+    opts.elan4.use_dtype_engine = engine_on;
+    TestBed bed;
+    double us = 0;
+    bed.run_mpi(2, [&](mpi::World& w) {
+      auto& c = w.comm();
+      std::uint32_t v = 0;
+      constexpr int kIters = 100;
+      c.barrier();
+      const sim::Time t0 = w.net().engine().now();
+      for (int i = 0; i < kIters; ++i) {
+        if (c.rank() == 0) {
+          c.send(&v, 4, dtype::byte_type(), 1, 0);
+          c.recv(&v, 4, dtype::byte_type(), 1, 0);
+        } else {
+          c.recv(&v, 4, dtype::byte_type(), 0, 0);
+          c.send(&v, 4, dtype::byte_type(), 0, 0);
+        }
+      }
+      if (c.rank() == 0)
+        us = sim::to_us(w.net().engine().now() - t0) / (2.0 * kIters);
+      c.barrier();
+    }, opts);
+    return us;
+  };
+  const double off = measure(false);
+  const double on = measure(true);
+  // Fig. 7: the copy-engine initialization costs ~0.4us one-way.
+  EXPECT_NEAR(on - off, 0.4, 0.25);
+}
+
+TEST(Progress, ThreadedModeHandlesConcurrentTraffic) {
+  mpi::Options opts;
+  opts.elan4.progress = ptl_elan4::Progress::kOneThread;
+  TestBed bed;
+  bed.run_mpi(4, [&](mpi::World& w) {
+    auto& c = w.comm();
+    // Everyone sends to everyone; progress threads handle arrivals while
+    // the main thread blocks in waits.
+    std::vector<std::vector<std::uint8_t>> rx(4);
+    std::vector<mpi::Request> reqs;
+    for (int p = 0; p < 4; ++p) {
+      if (p == c.rank()) continue;
+      rx[static_cast<std::size_t>(p)].assign(30000, 0);
+      reqs.push_back(c.irecv(rx[static_cast<std::size_t>(p)].data(), 30000,
+                             dtype::byte_type(), p, 3));
+    }
+    std::vector<std::uint8_t> tx(30000, static_cast<std::uint8_t>(c.rank()));
+    for (int p = 0; p < 4; ++p) {
+      if (p == c.rank()) continue;
+      reqs.push_back(c.isend(tx.data(), tx.size(), dtype::byte_type(), p, 3));
+    }
+    for (auto& r : reqs) r.wait();
+    for (int p = 0; p < 4; ++p) {
+      if (p == c.rank()) continue;
+      EXPECT_EQ(rx[static_cast<std::size_t>(p)],
+                std::vector<std::uint8_t>(30000, static_cast<std::uint8_t>(p)));
+    }
+    c.barrier();
+  }, opts);
+}
+
+}  // namespace
+}  // namespace oqs

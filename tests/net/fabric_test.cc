@@ -1,0 +1,128 @@
+// Fabric timing: latency composition, serialization, bandwidth sharing.
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+namespace oqs::net {
+namespace {
+
+ModelParams simple_params() {
+  ModelParams p;
+  p.hop_ns = 100;
+  p.link_startup_ns = 0;
+  p.link_mbps = 1000.0;  // 1 byte/ns
+  return p;
+}
+
+TEST(Fabric, UncontendedLatencyIsHopsPlusSerialization) {
+  sim::Engine e;
+  ModelParams p = simple_params();
+  Fabric f(e, p, 4);
+  sim::Time arrived = 0;
+  f.transmit(0, 1, 1000, [&] { arrived = e.now(); });
+  e.run();
+  // 2 hops * 100ns + 1000B at 1B/ns.
+  EXPECT_EQ(arrived, 2 * 100u + 1000u);
+}
+
+TEST(Fabric, ZeroByteControlPacketStillPaysHops) {
+  sim::Engine e;
+  ModelParams p = simple_params();
+  Fabric f(e, p, 2);
+  sim::Time arrived = 0;
+  f.transmit(0, 1, 0, [&] { arrived = e.now(); });
+  e.run();
+  EXPECT_EQ(arrived, 200u);
+}
+
+TEST(Fabric, LoopbackBypassesFabric) {
+  sim::Engine e;
+  ModelParams p = simple_params();
+  Fabric f(e, p, 2);
+  sim::Time arrived = 0;
+  f.transmit(1, 1, 4096, [&] { arrived = e.now(); });
+  e.run();
+  EXPECT_EQ(arrived, p.hop_ns);
+}
+
+TEST(Fabric, BackToBackPacketsSerializeOnInjectionLink) {
+  sim::Engine e;
+  ModelParams p = simple_params();
+  Fabric f(e, p, 4);
+  std::vector<sim::Time> arrivals;
+  for (int i = 0; i < 3; ++i)
+    f.transmit(0, 1, 1000, [&] { arrivals.push_back(e.now()); });
+  e.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], 1200u);
+  // Each subsequent packet departs when the link frees: +1000ns apart.
+  EXPECT_EQ(arrivals[1], 2200u);
+  EXPECT_EQ(arrivals[2], 3200u);
+}
+
+TEST(Fabric, FlowsToDistinctDestsShareSourceLink) {
+  sim::Engine e;
+  ModelParams p = simple_params();
+  Fabric f(e, p, 4);
+  sim::Time t1 = 0;
+  sim::Time t2 = 0;
+  f.transmit(0, 1, 1000, [&] { t1 = e.now(); });
+  f.transmit(0, 2, 1000, [&] { t2 = e.now(); });
+  e.run();
+  EXPECT_EQ(t1, 1200u);
+  EXPECT_EQ(t2, 2200u);  // injection link is the bottleneck
+}
+
+TEST(Fabric, FlowsFromDistinctSourcesToOneDestShareEjectionLink) {
+  sim::Engine e;
+  ModelParams p = simple_params();
+  Fabric f(e, p, 4);
+  sim::Time t1 = 0;
+  sim::Time t2 = 0;
+  f.transmit(1, 0, 1000, [&] { t1 = e.now(); });
+  f.transmit(2, 0, 1000, [&] { t2 = e.now(); });
+  e.run();
+  EXPECT_EQ(t1, 1200u);
+  EXPECT_EQ(t2, 2200u);
+}
+
+TEST(Fabric, DisjointPairsDoNotInterfere) {
+  sim::Engine e;
+  ModelParams p = simple_params();
+  Fabric f(e, p, 4);
+  sim::Time t1 = 0;
+  sim::Time t2 = 0;
+  f.transmit(0, 1, 1000, [&] { t1 = e.now(); });
+  f.transmit(2, 3, 1000, [&] { t2 = e.now(); });
+  e.run();
+  EXPECT_EQ(t1, 1200u);
+  EXPECT_EQ(t2, 1200u);
+}
+
+TEST(Fabric, RailsAreIndependent) {
+  sim::Engine e;
+  ModelParams p = simple_params();
+  Fabric f(e, p, 4, /*rails=*/2);
+  sim::Time t1 = 0;
+  sim::Time t2 = 0;
+  f.transmit(0, 1, 1000, [&] { t1 = e.now(); }, /*rail=*/0);
+  f.transmit(0, 1, 1000, [&] { t2 = e.now(); }, /*rail=*/1);
+  e.run();
+  EXPECT_EQ(t1, 1200u);
+  EXPECT_EQ(t2, 1200u);  // no sharing across rails
+}
+
+TEST(Fabric, FatTreeUsedAboveEightNodes) {
+  sim::Engine e;
+  ModelParams p = simple_params();
+  Fabric f(e, p, 16);
+  EXPECT_EQ(f.hops(0, 1), 2);
+  EXPECT_EQ(f.hops(0, 15), 4);
+  sim::Time arrived = 0;
+  f.transmit(0, 15, 1000, [&] { arrived = e.now(); });
+  e.run();
+  EXPECT_EQ(arrived, 4 * 100u + 1000u);
+}
+
+}  // namespace
+}  // namespace oqs::net

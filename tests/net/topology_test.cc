@@ -1,0 +1,82 @@
+// Topology construction and routing.
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace oqs::net {
+namespace {
+
+TEST(SingleSwitch, TwoHopsBetweenAnyDistinctPair) {
+  SingleSwitch sw(8);
+  for (int s = 0; s < 8; ++s)
+    for (int d = 0; d < 8; ++d)
+      EXPECT_EQ(sw.hops(s, d), s == d ? 0 : 2);
+}
+
+TEST(SingleSwitch, RouteSharesUpLinkPerSourceDownLinkPerDest) {
+  SingleSwitch sw(4);
+  std::vector<Link*> r02;
+  std::vector<Link*> r03;
+  std::vector<Link*> r12;
+  sw.route(0, 2, r02);
+  sw.route(0, 3, r03);
+  sw.route(1, 2, r12);
+  ASSERT_EQ(r02.size(), 2u);
+  EXPECT_EQ(r02[0], r03[0]);  // same source injection link
+  EXPECT_NE(r02[1], r03[1]);  // different ejection links
+  EXPECT_NE(r02[0], r12[0]);
+  EXPECT_EQ(r02[1], r12[1]);  // same destination ejection link
+}
+
+TEST(SingleSwitch, LoopbackHasEmptyRoute) {
+  SingleSwitch sw(2);
+  std::vector<Link*> r;
+  sw.route(1, 1, r);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(FatTree, SixteenNodesTwoLevels) {
+  QuaternaryFatTree ft(16);
+  EXPECT_EQ(ft.levels(), 2);
+  // Same quad: one level up + down = 2 hops.
+  EXPECT_EQ(ft.hops(0, 1), 2);
+  EXPECT_EQ(ft.hops(4, 7), 2);
+  // Different quads: climb both levels = 4 hops.
+  EXPECT_EQ(ft.hops(0, 4), 4);
+  EXPECT_EQ(ft.hops(3, 15), 4);
+  EXPECT_EQ(ft.hops(9, 9), 0);
+}
+
+TEST(FatTree, SixtyFourNodesThreeLevels) {
+  QuaternaryFatTree ft(64);
+  EXPECT_EQ(ft.levels(), 3);
+  EXPECT_EQ(ft.hops(0, 3), 2);
+  EXPECT_EQ(ft.hops(0, 15), 4);
+  EXPECT_EQ(ft.hops(0, 63), 6);
+}
+
+TEST(FatTree, RouteLengthMatchesHops) {
+  QuaternaryFatTree ft(64);
+  std::vector<Link*> r;
+  for (int s = 0; s < 64; s += 7)
+    for (int d = 0; d < 64; d += 5) {
+      ft.route(s, d, r);
+      EXPECT_EQ(static_cast<int>(r.size()), ft.hops(s, d)) << s << "->" << d;
+    }
+}
+
+TEST(FatTree, UpPathOwnedBySourceDownPathByDest) {
+  QuaternaryFatTree ft(16);
+  std::vector<Link*> a;
+  std::vector<Link*> b;
+  ft.route(0, 12, a);  // 4 hops: up0, up1, dn1, dn0
+  ft.route(0, 13, b);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[1], b[1]);  // shared up path (same source)
+  EXPECT_NE(a[2], b[2]);  // distinct down paths
+  EXPECT_NE(a[3], b[3]);
+}
+
+}  // namespace
+}  // namespace oqs::net

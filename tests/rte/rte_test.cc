@@ -1,0 +1,140 @@
+// RTE: OOB messaging, registry/name-service, launch and spawn.
+#include <gtest/gtest.h>
+
+#include "elan4/qsnet.h"
+#include "rte/runtime.h"
+
+namespace oqs::rte {
+namespace {
+
+struct RteFixture : ::testing::Test {
+  sim::Engine engine;
+  ModelParams params;
+  std::unique_ptr<elan4::QsNet> net;
+  std::unique_ptr<Runtime> rt;
+
+  void SetUp() override {
+    net = std::make_unique<elan4::QsNet>(engine, params, 4);
+    rt = std::make_unique<Runtime>(engine, *net);
+  }
+};
+
+TEST_F(RteFixture, OobDeliversTaggedMessages) {
+  Oob& oob = rt->oob();
+  const int a = oob.add_endpoint();
+  const int b = oob.add_endpoint();
+  std::vector<int> got;
+  engine.spawn("recv", [&] {
+    OobMsg m = oob.recv(b, /*tag=*/2);
+    got.push_back(m.tag);
+    EXPECT_EQ(m.src, a);
+    m = oob.recv(b, 1);  // the earlier tag-1 message is still queued
+    got.push_back(m.tag);
+  });
+  engine.spawn("send", [&] {
+    oob.send(a, b, 1, {0x01});
+    oob.send(a, b, 2, {0x02});
+  });
+  engine.run();
+  EXPECT_EQ(got, (std::vector<int>{2, 1}));
+}
+
+TEST_F(RteFixture, OobChargesManagementLatency) {
+  Oob& oob = rt->oob();
+  const int a = oob.add_endpoint();
+  const int b = oob.add_endpoint();
+  sim::Time arrive = 0;
+  engine.spawn("recv", [&] {
+    oob.recv(b, kAnyTag);
+    arrive = engine.now();
+  });
+  engine.spawn("send", [&] { oob.send(a, b, 0, std::vector<std::uint8_t>(900)); });
+  engine.run();
+  EXPECT_GE(arrive, params.oob_latency_ns);
+  EXPECT_GE(arrive, params.oob_latency_ns +
+                        ModelParams::xfer_ns(900, params.oob_mbps) - 1);
+}
+
+TEST_F(RteFixture, OobToRemovedEndpointIsDropped) {
+  Oob& oob = rt->oob();
+  const int a = oob.add_endpoint();
+  const int b = oob.add_endpoint();
+  oob.remove_endpoint(b);
+  oob.send(a, b, 0, {1});
+  engine.run();  // must not crash; message silently dropped
+}
+
+TEST_F(RteFixture, RegistryGetBlocksUntilPut) {
+  Registry& reg = rt->registry();
+  std::vector<std::uint8_t> got;
+  engine.spawn("getter", [&] { got = reg.get("k"); });
+  engine.spawn("putter", [&] {
+    engine.sleep(500 * sim::kUs);
+    reg.put("k", {9, 8, 7});
+  });
+  engine.run();
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{9, 8, 7}));
+}
+
+TEST_F(RteFixture, RegistryBarrierHoldsUntilAllArrive) {
+  Registry& reg = rt->registry();
+  int through = 0;
+  sim::Time last_enter = 0;
+  std::vector<sim::Time> exits;
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn("p", [&, i] {
+      engine.sleep(static_cast<sim::Time>(i) * 100 * sim::kUs);
+      last_enter = std::max(last_enter, engine.now());
+      reg.barrier("b", 3);
+      exits.push_back(engine.now());
+      ++through;
+    });
+  }
+  engine.run();
+  EXPECT_EQ(through, 3);
+  for (sim::Time t : exits) EXPECT_GE(t, last_enter);
+}
+
+TEST_F(RteFixture, LaunchPlacesRoundRobin) {
+  std::vector<int> nodes;
+  rt->launch(6, [&](Env& env) { nodes.push_back(env.node); });
+  engine.run();
+  EXPECT_EQ(nodes, (std::vector<int>{0, 1, 2, 3, 0, 1}));
+}
+
+TEST_F(RteFixture, LaunchHonorsExplicitPlacement) {
+  std::vector<int> nodes;
+  rt->launch(3, [&](Env& env) { nodes.push_back(env.node); }, {2, 2, 0});
+  engine.run();
+  EXPECT_EQ(nodes, (std::vector<int>{2, 2, 0}));
+}
+
+TEST_F(RteFixture, SpawnOneCreatesLiveProcess) {
+  int spawned_index = -1;
+  rt->launch(2, [&](Env& env) {
+    if (env.world_index == 0) {
+      env.rte->spawn_one(3, [&](Env& cenv) {
+        spawned_index = cenv.world_index;
+        EXPECT_EQ(cenv.node, 3);
+      });
+    }
+  });
+  engine.run();
+  EXPECT_EQ(spawned_index, 2);  // after the two launched processes
+  EXPECT_EQ(rt->processes_launched(), 3);
+}
+
+TEST_F(RteFixture, PodSerializationRoundTrips) {
+  std::vector<std::uint8_t> buf;
+  put_pod(buf, std::int32_t{-5});
+  put_pod(buf, std::uint64_t{0xDEADBEEFCAFEull});
+  put_pod(buf, double{2.5});
+  std::size_t off = 0;
+  EXPECT_EQ(get_pod<std::int32_t>(buf, off), -5);
+  EXPECT_EQ(get_pod<std::uint64_t>(buf, off), 0xDEADBEEFCAFEull);
+  EXPECT_EQ(get_pod<double>(buf, off), 2.5);
+  EXPECT_EQ(off, buf.size());
+}
+
+}  // namespace
+}  // namespace oqs::rte

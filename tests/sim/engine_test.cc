@@ -1,0 +1,131 @@
+// Engine semantics: time ordering, FIFO ties, fiber lifecycle.
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oqs::sim {
+namespace {
+
+TEST(Engine, ExecutesEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(30, [&] { order.push_back(3); });
+  e.schedule(10, [&] { order.push_back(1); });
+  e.schedule(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, SameInstantEventsRunFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) e.schedule(5, [&, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, NestedSchedulingAdvancesTime) {
+  Engine e;
+  Time second = 0;
+  e.schedule(10, [&] { e.schedule(15, [&] { second = e.now(); }); });
+  e.run();
+  EXPECT_EQ(second, 25u);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int ran = 0;
+  e.schedule(10, [&] { ++ran; });
+  e.schedule(100, [&] { ++ran; });
+  e.run_until(50);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(e.now(), 50u);
+  e.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Engine, StopHaltsTheLoop) {
+  Engine e;
+  int ran = 0;
+  e.schedule(10, [&] {
+    ++ran;
+    e.stop();
+  });
+  e.schedule(20, [&] { ++ran; });
+  e.run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Engine, FiberRunsAndCompletes) {
+  Engine e;
+  bool done = false;
+  e.spawn("f", [&] { done = true; });
+  e.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(e.live_fibers(), 0u);
+}
+
+TEST(Engine, FiberSleepAdvancesSimTime) {
+  Engine e;
+  Time woke = 0;
+  e.spawn("sleeper", [&] {
+    e.sleep(1000);
+    e.sleep(234);
+    woke = e.now();
+  });
+  e.run();
+  EXPECT_EQ(woke, 1234u);
+}
+
+TEST(Engine, ManyFibersInterleaveDeterministically) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.spawn("w" + std::to_string(i), [&, i] {
+      for (int k = 0; k < 3; ++k) {
+        order.push_back(i * 10 + k);
+        e.sleep(10);
+      }
+    });
+  }
+  e.run();
+  ASSERT_EQ(order.size(), 15u);
+  // Round-robin by step: all fibers do step k before any does step k+1.
+  for (int k = 0; k < 3; ++k)
+    for (int i = 0; i < 5; ++i)
+      EXPECT_EQ(order[static_cast<std::size_t>(k * 5 + i)], i * 10 + k);
+}
+
+TEST(Engine, ParkAndUnpark) {
+  Engine e;
+  bool resumed = false;
+  Fiber* f = e.spawn("parked", [&] {
+    e.park();
+    resumed = true;
+  });
+  e.schedule(500, [&] { e.unpark(f); });
+  e.run();
+  EXPECT_TRUE(resumed);
+  EXPECT_EQ(e.now(), 500u);
+}
+
+TEST(Engine, DeepFiberStackSurvives) {
+  Engine e;
+  // Recurse a few thousand frames to exercise the fiber stack.
+  std::function<int(int)> rec = [&](int n) -> int {
+    if (n == 0) return 0;
+    volatile char pad[64] = {};
+    (void)pad;
+    return 1 + rec(n - 1);
+  };
+  int depth = 0;
+  e.spawn("deep", [&] { depth = rec(1500); });
+  e.run();
+  EXPECT_EQ(depth, 1500);
+}
+
+}  // namespace
+}  // namespace oqs::sim

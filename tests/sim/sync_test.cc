@@ -1,0 +1,106 @@
+// Notifier / Flag / Semaphore / Mailbox semantics.
+#include "sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace oqs::sim {
+namespace {
+
+TEST(Notifier, WakesAllCurrentWaiters) {
+  Engine e;
+  Notifier n(e);
+  int woke = 0;
+  for (int i = 0; i < 3; ++i)
+    e.spawn("w", [&] {
+      n.wait();
+      ++woke;
+    });
+  e.schedule(100, [&] { n.notify_all(); });
+  e.run();
+  EXPECT_EQ(woke, 3);
+}
+
+TEST(Notifier, NotifyOneWakesFifo) {
+  Engine e;
+  Notifier n(e);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i)
+    e.spawn("w" + std::to_string(i), [&, i] {
+      n.wait();
+      order.push_back(i);
+    });
+  e.schedule(10, [&] { n.notify_one(); });
+  e.schedule(20, [&] { n.notify_one(); });
+  e.schedule(30, [&] { n.notify_one(); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Flag, WaitAfterSetReturnsImmediately) {
+  Engine e;
+  Flag f(e);
+  Time woke_at = 999;
+  e.schedule(0, [&] { f.set(); });
+  e.spawn("late", [&] {
+    e.sleep(50);
+    f.wait();
+    woke_at = e.now();
+  });
+  e.run();
+  EXPECT_EQ(woke_at, 50u);
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Engine e;
+  Semaphore sem(e, 2);
+  int concurrent = 0;
+  int peak = 0;
+  for (int i = 0; i < 6; ++i)
+    e.spawn("s", [&] {
+      sem.acquire();
+      ++concurrent;
+      peak = std::max(peak, concurrent);
+      e.sleep(100);
+      --concurrent;
+      sem.release();
+    });
+  e.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(e.now(), 300u);  // 6 jobs, 2 wide, 100ns each
+}
+
+TEST(Mailbox, DeliversInOrderAndBlocks) {
+  Engine e;
+  Mailbox<int> mb(e);
+  std::vector<int> got;
+  e.spawn("consumer", [&] {
+    for (int i = 0; i < 4; ++i) got.push_back(mb.recv());
+  });
+  e.schedule(10, [&] { mb.send(1); });
+  e.schedule(20, [&] {
+    mb.send(2);
+    mb.send(3);
+  });
+  e.schedule(30, [&] { mb.send(4); });
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Mailbox, TryRecvDoesNotBlock) {
+  Engine e;
+  Mailbox<std::string> mb(e);
+  e.spawn("t", [&] {
+    EXPECT_FALSE(mb.try_recv().has_value());
+    mb.send("x");
+    auto v = mb.try_recv();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, "x");
+  });
+  e.run();
+}
+
+}  // namespace
+}  // namespace oqs::sim

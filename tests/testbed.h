@@ -1,0 +1,36 @@
+// Shared test harness: one simulated testbed (the paper's 8-node cluster)
+// plus helpers to run MPI programs on it.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "openqs.h"
+
+namespace oqs::test {
+
+struct TestBed {
+  sim::Engine engine;
+  ModelParams params;
+  std::unique_ptr<elan4::QsNet> net;
+  std::unique_ptr<rte::Runtime> rt;
+
+  explicit TestBed(int nodes = 8, int rails = 1) {
+    net = std::make_unique<elan4::QsNet>(engine, params, nodes, 64, rails);
+    rt = std::make_unique<rte::Runtime>(engine, *net);
+  }
+
+  // Launch `n` MPI processes running `body`, then drive the simulation to
+  // completion. Returns the final simulated time (ns).
+  sim::Time run_mpi(int n, std::function<void(mpi::World&)> body,
+                    mpi::Options opts = {}) {
+    auto shared = std::make_shared<std::function<void(mpi::World&)>>(std::move(body));
+    rt->launch(n, [this, opts, shared](rte::Env& env) {
+      mpi::World world(env, *net, opts);
+      (*shared)(world);
+    });
+    return engine.run();
+  }
+};
+
+}  // namespace oqs::test

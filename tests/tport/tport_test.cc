@@ -1,0 +1,165 @@
+// Tport semantics: NIC-side matching, unexpected buffering, wildcards,
+// fragmentation, truncation.
+#include "tport/tport.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "elan4/qsnet.h"
+
+namespace oqs::tport {
+namespace {
+
+struct TportFixture : ::testing::Test {
+  sim::Engine engine;
+  ModelParams params;
+  std::unique_ptr<elan4::QsNet> net;
+  std::unique_ptr<TportDomain> domain;
+
+  void SetUp() override {
+    net = std::make_unique<elan4::QsNet>(engine, params, 4);
+    domain = std::make_unique<TportDomain>(*net);
+  }
+};
+
+TEST_F(TportFixture, TaggedSendRecvRoundtrip) {
+  Tport a(*domain, 0);
+  Tport b(*domain, 1);
+  std::vector<std::uint8_t> payload(500);
+  std::iota(payload.begin(), payload.end(), 9);
+  engine.spawn("b", [&] {
+    std::vector<std::uint8_t> buf(500, 0);
+    Tport::RxReq* r = b.recv(a.vpid(), 77, ~0ull, buf.data(), buf.size());
+    b.wait(r);
+    EXPECT_EQ(r->len, 500u);
+    EXPECT_EQ(r->tag, 77u);
+    EXPECT_EQ(buf, payload);
+  });
+  engine.spawn("a", [&] {
+    Tport::TxReq* t = a.send(b.vpid(), 77, payload.data(), payload.size());
+    a.wait(t);
+    EXPECT_TRUE(t->done);
+  });
+  engine.run();
+}
+
+TEST_F(TportFixture, UnexpectedMessageBuffersOnNic) {
+  Tport a(*domain, 0);
+  Tport b(*domain, 1);
+  std::vector<std::uint8_t> payload(2000, 0x3C);
+  engine.spawn("a", [&] { a.wait(a.send(b.vpid(), 5, payload.data(), 2000)); });
+  engine.spawn("b", [&] {
+    engine.sleep(500 * sim::kUs);  // message arrives long before the post
+    EXPECT_GT(b.unexpected_bytes(), 0u);
+    std::vector<std::uint8_t> buf(2000, 0);
+    Tport::RxReq* r = b.recv(kAnyVpid, 5, ~0ull, buf.data(), buf.size());
+    b.wait(r);
+    EXPECT_EQ(buf, payload);
+    EXPECT_EQ(b.unexpected_bytes(), 0u);
+  });
+  engine.run();
+}
+
+TEST_F(TportFixture, RecvClaimsInFlightMessage) {
+  // Post lands while a long message is still streaming in fragments.
+  Tport a(*domain, 0);
+  Tport b(*domain, 1);
+  const std::size_t len = 1 << 20;
+  std::vector<std::uint8_t> payload(len, 0x5A);
+  engine.spawn("a", [&] { a.wait(a.send(b.vpid(), 1, payload.data(), len)); });
+  engine.spawn("b", [&] {
+    // 1MB takes ~1.2ms; post the receive mid-flight.
+    engine.sleep(300 * sim::kUs);
+    std::vector<std::uint8_t> buf(len, 0);
+    Tport::RxReq* r = b.recv(kAnyVpid, 1, ~0ull, buf.data(), buf.size());
+    b.wait(r);
+    EXPECT_EQ(buf, payload);
+  });
+  engine.run();
+}
+
+TEST_F(TportFixture, TagMaskAndAnySource) {
+  Tport a(*domain, 0);
+  Tport b(*domain, 1);
+  Tport c(*domain, 2);
+  engine.spawn("senders", [&] {
+    // Buffers must outlive the nonblocking sends: the NIC reads host
+    // memory at injection time.
+    std::uint32_t x = 1;
+    std::uint32_t y = 2;
+    Tport::TxReq* tx1 = a.send(c.vpid(), 0x1010, &x, 4);
+    Tport::TxReq* tx2 = b.send(c.vpid(), 0x1020, &y, 4);
+    a.wait(tx1);
+    b.wait(tx2);
+  });
+  engine.spawn("c", [&] {
+    // Mask matches the 0x10?0 family from any source: both arrive.
+    std::uint32_t v1 = 0;
+    std::uint32_t v2 = 0;
+    Tport::RxReq* r1 = c.recv(kAnyVpid, 0x1000, 0xFF0F, &v1, 4);
+    Tport::RxReq* r2 = c.recv(kAnyVpid, 0x1000, 0xFF0F, &v2, 4);
+    c.wait(r1);
+    c.wait(r2);
+    EXPECT_EQ(v1 + v2, 3u);
+  });
+  engine.run();
+}
+
+TEST_F(TportFixture, TruncationFlagsAndClamps) {
+  Tport a(*domain, 0);
+  Tport b(*domain, 1);
+  std::vector<std::uint8_t> payload(300);
+  std::iota(payload.begin(), payload.end(), 0);
+  engine.spawn("a", [&] { a.wait(a.send(b.vpid(), 9, payload.data(), 300)); });
+  engine.spawn("b", [&] {
+    std::vector<std::uint8_t> buf(100, 0);
+    Tport::RxReq* r = b.recv(kAnyVpid, 9, ~0ull, buf.data(), buf.size());
+    b.wait(r);
+    EXPECT_TRUE(r->truncated);
+    EXPECT_EQ(r->len, 100u);
+    payload.resize(100);
+    EXPECT_EQ(buf, payload);
+  });
+  engine.run();
+}
+
+TEST_F(TportFixture, ZeroByteMessageMatches) {
+  Tport a(*domain, 0);
+  Tport b(*domain, 1);
+  engine.spawn("a", [&] { a.wait(a.send(b.vpid(), 3, nullptr, 0)); });
+  engine.spawn("b", [&] {
+    Tport::RxReq* r = b.recv(a.vpid(), 3, ~0ull, nullptr, 0);
+    b.wait(r);
+    EXPECT_EQ(r->len, 0u);
+    EXPECT_FALSE(r->truncated);
+  });
+  engine.run();
+}
+
+TEST_F(TportFixture, ManyMessagesKeepOrderPerPair) {
+  Tport a(*domain, 0);
+  Tport b(*domain, 1);
+  // Each message needs its own live buffer until its send completes.
+  static std::uint32_t values[50];
+  engine.spawn("a", [&] {
+    std::vector<Tport::TxReq*> txs;
+    for (std::uint32_t i = 0; i < 50; ++i) {
+      values[i] = i;
+      txs.push_back(a.send(b.vpid(), 1, &values[i], 4));
+    }
+    for (auto* t : txs) a.wait(t);
+  });
+  engine.spawn("b", [&] {
+    for (std::uint32_t i = 0; i < 50; ++i) {
+      std::uint32_t v = 999;
+      Tport::RxReq* r = b.recv(a.vpid(), 1, ~0ull, &v, 4);
+      b.wait(r);
+      EXPECT_EQ(v, i);
+    }
+  });
+  engine.run();
+}
+
+}  // namespace
+}  // namespace oqs::tport
