@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cpu.dir/bench_ablation_cpu.cc.o"
+  "CMakeFiles/bench_ablation_cpu.dir/bench_ablation_cpu.cc.o.d"
+  "bench_ablation_cpu"
+  "bench_ablation_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_join.dir/bench_dynamic_join.cc.o"
+  "CMakeFiles/bench_dynamic_join.dir/bench_dynamic_join.cc.o.d"
+  "bench_dynamic_join"
+  "bench_dynamic_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8.cc" "bench/CMakeFiles/bench_fig8.dir/bench_fig8.cc.o" "gcc" "bench/CMakeFiles/bench_fig8.dir/bench_fig8.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/oqs_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpich/CMakeFiles/oqs_mpich.dir/DependInfo.cmake"
+  "/root/repo/build/src/tport/CMakeFiles/oqs_tport.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptl/CMakeFiles/oqs_ptl_elan4.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptl/CMakeFiles/oqs_ptl_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pml/CMakeFiles/oqs_pml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtype/CMakeFiles/oqs_dtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/rte/CMakeFiles/oqs_rte.dir/DependInfo.cmake"
+  "/root/repo/build/src/elan4/CMakeFiles/oqs_elan4.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oqs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oqs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/oqs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

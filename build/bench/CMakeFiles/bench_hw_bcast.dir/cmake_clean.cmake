@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hw_bcast.dir/bench_hw_bcast.cc.o"
+  "CMakeFiles/bench_hw_bcast.dir/bench_hw_bcast.cc.o.d"
+  "bench_hw_bcast"
+  "bench_hw_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hw_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_one_sided.dir/bench_one_sided.cc.o"
+  "CMakeFiles/bench_one_sided.dir/bench_one_sided.cc.o.d"
+  "bench_one_sided"
+  "bench_one_sided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_one_sided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_network.dir/multi_network.cpp.o"
+  "CMakeFiles/multi_network.dir/multi_network.cpp.o.d"
+  "multi_network"
+  "multi_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

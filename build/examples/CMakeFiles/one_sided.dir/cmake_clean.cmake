@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_sided.dir/one_sided.cpp.o"
+  "CMakeFiles/one_sided.dir/one_sided.cpp.o.d"
+  "one_sided"
+  "one_sided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_sided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oqs_base.dir/checksum.cc.o"
+  "CMakeFiles/oqs_base.dir/checksum.cc.o.d"
+  "CMakeFiles/oqs_base.dir/log.cc.o"
+  "CMakeFiles/oqs_base.dir/log.cc.o.d"
+  "liboqs_base.a"
+  "liboqs_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oqs_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

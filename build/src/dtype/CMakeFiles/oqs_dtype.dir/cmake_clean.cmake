@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oqs_dtype.dir/datatype.cc.o"
+  "CMakeFiles/oqs_dtype.dir/datatype.cc.o.d"
+  "liboqs_dtype.a"
+  "liboqs_dtype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oqs_dtype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

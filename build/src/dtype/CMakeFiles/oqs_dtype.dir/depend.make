@@ -1,0 +1,2 @@
+# Empty dependencies file for oqs_dtype.
+# This may be replaced when dependencies are built.

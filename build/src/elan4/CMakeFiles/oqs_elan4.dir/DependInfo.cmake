@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elan4/capability.cc" "src/elan4/CMakeFiles/oqs_elan4.dir/capability.cc.o" "gcc" "src/elan4/CMakeFiles/oqs_elan4.dir/capability.cc.o.d"
+  "/root/repo/src/elan4/device.cc" "src/elan4/CMakeFiles/oqs_elan4.dir/device.cc.o" "gcc" "src/elan4/CMakeFiles/oqs_elan4.dir/device.cc.o.d"
+  "/root/repo/src/elan4/event.cc" "src/elan4/CMakeFiles/oqs_elan4.dir/event.cc.o" "gcc" "src/elan4/CMakeFiles/oqs_elan4.dir/event.cc.o.d"
+  "/root/repo/src/elan4/mmu.cc" "src/elan4/CMakeFiles/oqs_elan4.dir/mmu.cc.o" "gcc" "src/elan4/CMakeFiles/oqs_elan4.dir/mmu.cc.o.d"
+  "/root/repo/src/elan4/nic.cc" "src/elan4/CMakeFiles/oqs_elan4.dir/nic.cc.o" "gcc" "src/elan4/CMakeFiles/oqs_elan4.dir/nic.cc.o.d"
+  "/root/repo/src/elan4/qsnet.cc" "src/elan4/CMakeFiles/oqs_elan4.dir/qsnet.cc.o" "gcc" "src/elan4/CMakeFiles/oqs_elan4.dir/qsnet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/oqs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oqs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/oqs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

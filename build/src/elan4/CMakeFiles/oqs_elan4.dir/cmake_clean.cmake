@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oqs_elan4.dir/capability.cc.o"
+  "CMakeFiles/oqs_elan4.dir/capability.cc.o.d"
+  "CMakeFiles/oqs_elan4.dir/device.cc.o"
+  "CMakeFiles/oqs_elan4.dir/device.cc.o.d"
+  "CMakeFiles/oqs_elan4.dir/event.cc.o"
+  "CMakeFiles/oqs_elan4.dir/event.cc.o.d"
+  "CMakeFiles/oqs_elan4.dir/mmu.cc.o"
+  "CMakeFiles/oqs_elan4.dir/mmu.cc.o.d"
+  "CMakeFiles/oqs_elan4.dir/nic.cc.o"
+  "CMakeFiles/oqs_elan4.dir/nic.cc.o.d"
+  "CMakeFiles/oqs_elan4.dir/qsnet.cc.o"
+  "CMakeFiles/oqs_elan4.dir/qsnet.cc.o.d"
+  "liboqs_elan4.a"
+  "liboqs_elan4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oqs_elan4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oqs_mpi.dir/hwcoll.cc.o"
+  "CMakeFiles/oqs_mpi.dir/hwcoll.cc.o.d"
+  "CMakeFiles/oqs_mpi.dir/mpi.cc.o"
+  "CMakeFiles/oqs_mpi.dir/mpi.cc.o.d"
+  "CMakeFiles/oqs_mpi.dir/window.cc.o"
+  "CMakeFiles/oqs_mpi.dir/window.cc.o.d"
+  "liboqs_mpi.a"
+  "liboqs_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oqs_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpich/mpich.cc" "src/mpich/CMakeFiles/oqs_mpich.dir/mpich.cc.o" "gcc" "src/mpich/CMakeFiles/oqs_mpich.dir/mpich.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tport/CMakeFiles/oqs_tport.dir/DependInfo.cmake"
+  "/root/repo/build/src/rte/CMakeFiles/oqs_rte.dir/DependInfo.cmake"
+  "/root/repo/build/src/elan4/CMakeFiles/oqs_elan4.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oqs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oqs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/oqs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

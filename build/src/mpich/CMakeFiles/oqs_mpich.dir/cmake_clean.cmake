@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oqs_mpich.dir/mpich.cc.o"
+  "CMakeFiles/oqs_mpich.dir/mpich.cc.o.d"
+  "liboqs_mpich.a"
+  "liboqs_mpich.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oqs_mpich.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oqs_net.dir/fabric.cc.o"
+  "CMakeFiles/oqs_net.dir/fabric.cc.o.d"
+  "CMakeFiles/oqs_net.dir/topology.cc.o"
+  "CMakeFiles/oqs_net.dir/topology.cc.o.d"
+  "liboqs_net.a"
+  "liboqs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oqs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

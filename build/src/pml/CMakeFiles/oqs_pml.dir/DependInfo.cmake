@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pml/pml.cc" "src/pml/CMakeFiles/oqs_pml.dir/pml.cc.o" "gcc" "src/pml/CMakeFiles/oqs_pml.dir/pml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dtype/CMakeFiles/oqs_dtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oqs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/oqs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oqs_pml.dir/pml.cc.o"
+  "CMakeFiles/oqs_pml.dir/pml.cc.o.d"
+  "liboqs_pml.a"
+  "liboqs_pml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oqs_pml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oqs_ptl_elan4.dir/elan4/ptl_elan4.cc.o"
+  "CMakeFiles/oqs_ptl_elan4.dir/elan4/ptl_elan4.cc.o.d"
+  "liboqs_ptl_elan4.a"
+  "liboqs_ptl_elan4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oqs_ptl_elan4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

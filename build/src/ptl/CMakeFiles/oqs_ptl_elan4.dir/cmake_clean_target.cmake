@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboqs_ptl_elan4.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for oqs_ptl_elan4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oqs_ptl_tcp.dir/tcp/ptl_tcp.cc.o"
+  "CMakeFiles/oqs_ptl_tcp.dir/tcp/ptl_tcp.cc.o.d"
+  "liboqs_ptl_tcp.a"
+  "liboqs_ptl_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oqs_ptl_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oqs_rte.dir/oob.cc.o"
+  "CMakeFiles/oqs_rte.dir/oob.cc.o.d"
+  "CMakeFiles/oqs_rte.dir/runtime.cc.o"
+  "CMakeFiles/oqs_rte.dir/runtime.cc.o.d"
+  "liboqs_rte.a"
+  "liboqs_rte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oqs_rte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oqs_sim.dir/cpu.cc.o"
+  "CMakeFiles/oqs_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/oqs_sim.dir/engine.cc.o"
+  "CMakeFiles/oqs_sim.dir/engine.cc.o.d"
+  "CMakeFiles/oqs_sim.dir/fiber.cc.o"
+  "CMakeFiles/oqs_sim.dir/fiber.cc.o.d"
+  "liboqs_sim.a"
+  "liboqs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oqs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

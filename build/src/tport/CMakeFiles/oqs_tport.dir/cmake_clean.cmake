@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oqs_tport.dir/tport.cc.o"
+  "CMakeFiles/oqs_tport.dir/tport.cc.o.d"
+  "liboqs_tport.a"
+  "liboqs_tport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oqs_tport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("net")
+subdirs("elan4")
+subdirs("mpi")
+subdirs("dtype")
+subdirs("tport")
+subdirs("mpich")
+subdirs("base")
+subdirs("pml")
+subdirs("rte")
+subdirs("ptl")

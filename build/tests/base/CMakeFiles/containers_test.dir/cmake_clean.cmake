@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers_test.dir/containers_test.cc.o"
+  "CMakeFiles/containers_test.dir/containers_test.cc.o.d"
+  "containers_test"
+  "containers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

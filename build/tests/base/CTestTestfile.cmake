@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/base
+# Build directory: /root/repo/build/tests/base
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(containers_test "/root/repo/build/tests/base/containers_test")
+set_tests_properties(containers_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/base/CMakeLists.txt;1;oqs_test;/root/repo/tests/base/CMakeLists.txt;0;")
+add_test(checksum_test "/root/repo/build/tests/base/checksum_test")
+set_tests_properties(checksum_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/base/CMakeLists.txt;4;oqs_test;/root/repo/tests/base/CMakeLists.txt;0;")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/dtype
+# Build directory: /root/repo/build/tests/dtype
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(datatype_test "/root/repo/build/tests/dtype/datatype_test")
+set_tests_properties(datatype_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/dtype/CMakeLists.txt;1;oqs_test;/root/repo/tests/dtype/CMakeLists.txt;0;")

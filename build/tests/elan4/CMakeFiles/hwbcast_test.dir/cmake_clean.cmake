@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwbcast_test.dir/hwbcast_test.cc.o"
+  "CMakeFiles/hwbcast_test.dir/hwbcast_test.cc.o.d"
+  "hwbcast_test"
+  "hwbcast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwbcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdma_test.dir/qdma_test.cc.o"
+  "CMakeFiles/qdma_test.dir/qdma_test.cc.o.d"
+  "qdma_test"
+  "qdma_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

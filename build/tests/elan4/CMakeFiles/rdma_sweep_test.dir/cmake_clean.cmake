@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_sweep_test.dir/rdma_sweep_test.cc.o"
+  "CMakeFiles/rdma_sweep_test.dir/rdma_sweep_test.cc.o.d"
+  "rdma_sweep_test"
+  "rdma_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

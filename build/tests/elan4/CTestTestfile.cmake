@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/elan4
+# Build directory: /root/repo/build/tests/elan4
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(capability_test "/root/repo/build/tests/elan4/capability_test")
+set_tests_properties(capability_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/elan4/CMakeLists.txt;1;oqs_test;/root/repo/tests/elan4/CMakeLists.txt;0;")
+add_test(mmu_test "/root/repo/build/tests/elan4/mmu_test")
+set_tests_properties(mmu_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/elan4/CMakeLists.txt;4;oqs_test;/root/repo/tests/elan4/CMakeLists.txt;0;")
+add_test(event_test "/root/repo/build/tests/elan4/event_test")
+set_tests_properties(event_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/elan4/CMakeLists.txt;7;oqs_test;/root/repo/tests/elan4/CMakeLists.txt;0;")
+add_test(qdma_test "/root/repo/build/tests/elan4/qdma_test")
+set_tests_properties(qdma_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/elan4/CMakeLists.txt;10;oqs_test;/root/repo/tests/elan4/CMakeLists.txt;0;")
+add_test(rdma_test "/root/repo/build/tests/elan4/rdma_test")
+set_tests_properties(rdma_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/elan4/CMakeLists.txt;13;oqs_test;/root/repo/tests/elan4/CMakeLists.txt;0;")
+add_test(hwbcast_test "/root/repo/build/tests/elan4/hwbcast_test")
+set_tests_properties(hwbcast_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/elan4/CMakeLists.txt;16;oqs_test;/root/repo/tests/elan4/CMakeLists.txt;0;")
+add_test(rdma_sweep_test "/root/repo/build/tests/elan4/rdma_sweep_test")
+set_tests_properties(rdma_sweep_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/elan4/CMakeLists.txt;19;oqs_test;/root/repo/tests/elan4/CMakeLists.txt;0;")
+add_test(device_test "/root/repo/build/tests/elan4/device_test")
+set_tests_properties(device_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/elan4/CMakeLists.txt;22;oqs_test;/root/repo/tests/elan4/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtype_transfer_test.dir/dtype_transfer_test.cc.o"
+  "CMakeFiles/dtype_transfer_test.dir/dtype_transfer_test.cc.o.d"
+  "dtype_transfer_test"
+  "dtype_transfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtype_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwcoll_test.dir/hwcoll_test.cc.o"
+  "CMakeFiles/hwcoll_test.dir/hwcoll_test.cc.o.d"
+  "hwcoll_test"
+  "hwcoll_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwcoll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrate_test.dir/migrate_test.cc.o"
+  "CMakeFiles/migrate_test.dir/migrate_test.cc.o.d"
+  "migrate_test"
+  "migrate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multinet_test.dir/multinet_test.cc.o"
+  "CMakeFiles/multinet_test.dir/multinet_test.cc.o.d"
+  "multinet_test"
+  "multinet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multinet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

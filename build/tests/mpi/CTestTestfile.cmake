@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mpi
+# Build directory: /root/repo/build/tests/mpi
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(p2p_test "/root/repo/build/tests/mpi/p2p_test")
+set_tests_properties(p2p_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mpi/CMakeLists.txt;1;oqs_test;/root/repo/tests/mpi/CMakeLists.txt;0;")
+add_test(collectives_test "/root/repo/build/tests/mpi/collectives_test")
+set_tests_properties(collectives_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mpi/CMakeLists.txt;4;oqs_test;/root/repo/tests/mpi/CMakeLists.txt;0;")
+add_test(dynamic_test "/root/repo/build/tests/mpi/dynamic_test")
+set_tests_properties(dynamic_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mpi/CMakeLists.txt;7;oqs_test;/root/repo/tests/mpi/CMakeLists.txt;0;")
+add_test(progress_test "/root/repo/build/tests/mpi/progress_test")
+set_tests_properties(progress_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mpi/CMakeLists.txt;10;oqs_test;/root/repo/tests/mpi/CMakeLists.txt;0;")
+add_test(multinet_test "/root/repo/build/tests/mpi/multinet_test")
+set_tests_properties(multinet_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mpi/CMakeLists.txt;13;oqs_test;/root/repo/tests/mpi/CMakeLists.txt;0;")
+add_test(dtype_transfer_test "/root/repo/build/tests/mpi/dtype_transfer_test")
+set_tests_properties(dtype_transfer_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mpi/CMakeLists.txt;16;oqs_test;/root/repo/tests/mpi/CMakeLists.txt;0;")
+add_test(api_test "/root/repo/build/tests/mpi/api_test")
+set_tests_properties(api_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mpi/CMakeLists.txt;19;oqs_test;/root/repo/tests/mpi/CMakeLists.txt;0;")
+add_test(window_test "/root/repo/build/tests/mpi/window_test")
+set_tests_properties(window_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mpi/CMakeLists.txt;22;oqs_test;/root/repo/tests/mpi/CMakeLists.txt;0;")
+add_test(reliability_test "/root/repo/build/tests/mpi/reliability_test")
+set_tests_properties(reliability_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mpi/CMakeLists.txt;25;oqs_test;/root/repo/tests/mpi/CMakeLists.txt;0;")
+add_test(hwcoll_test "/root/repo/build/tests/mpi/hwcoll_test")
+set_tests_properties(hwcoll_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mpi/CMakeLists.txt;28;oqs_test;/root/repo/tests/mpi/CMakeLists.txt;0;")
+add_test(soak_test "/root/repo/build/tests/mpi/soak_test")
+set_tests_properties(soak_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mpi/CMakeLists.txt;31;oqs_test;/root/repo/tests/mpi/CMakeLists.txt;0;")
+add_test(migrate_test "/root/repo/build/tests/mpi/migrate_test")
+set_tests_properties(migrate_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mpi/CMakeLists.txt;34;oqs_test;/root/repo/tests/mpi/CMakeLists.txt;0;")
+add_test(edge_test "/root/repo/build/tests/mpi/edge_test")
+set_tests_properties(edge_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mpi/CMakeLists.txt;37;oqs_test;/root/repo/tests/mpi/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpich_test.dir/mpich_test.cc.o"
+  "CMakeFiles/mpich_test.dir/mpich_test.cc.o.d"
+  "mpich_test"
+  "mpich_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpich_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

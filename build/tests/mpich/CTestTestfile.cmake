@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mpich
+# Build directory: /root/repo/build/tests/mpich
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(mpich_test "/root/repo/build/tests/mpich/mpich_test")
+set_tests_properties(mpich_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/mpich/CMakeLists.txt;1;oqs_test;/root/repo/tests/mpich/CMakeLists.txt;0;")

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/net
+# Build directory: /root/repo/build/tests/net
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(topology_test "/root/repo/build/tests/net/topology_test")
+set_tests_properties(topology_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/net/CMakeLists.txt;1;oqs_test;/root/repo/tests/net/CMakeLists.txt;0;")
+add_test(fabric_test "/root/repo/build/tests/net/fabric_test")
+set_tests_properties(fabric_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/net/CMakeLists.txt;4;oqs_test;/root/repo/tests/net/CMakeLists.txt;0;")

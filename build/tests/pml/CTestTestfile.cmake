@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/pml
+# Build directory: /root/repo/build/tests/pml
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(match_test "/root/repo/build/tests/pml/match_test")
+set_tests_properties(match_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/pml/CMakeLists.txt;1;oqs_test;/root/repo/tests/pml/CMakeLists.txt;0;")

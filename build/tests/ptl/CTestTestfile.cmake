@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ptl
+# Build directory: /root/repo/build/tests/ptl
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tcp_test "/root/repo/build/tests/ptl/tcp_test")
+set_tests_properties(tcp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/ptl/CMakeLists.txt;1;oqs_test;/root/repo/tests/ptl/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rte_test.dir/rte_test.cc.o"
+  "CMakeFiles/rte_test.dir/rte_test.cc.o.d"
+  "rte_test"
+  "rte_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/rte
+# Build directory: /root/repo/build/tests/rte
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(rte_test "/root/repo/build/tests/rte/rte_test")
+set_tests_properties(rte_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/rte/CMakeLists.txt;1;oqs_test;/root/repo/tests/rte/CMakeLists.txt;0;")

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(engine_test "/root/repo/build/tests/sim/engine_test")
+set_tests_properties(engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/sim/CMakeLists.txt;1;oqs_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(sync_test "/root/repo/build/tests/sim/sync_test")
+set_tests_properties(sync_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/sim/CMakeLists.txt;4;oqs_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(cpu_test "/root/repo/build/tests/sim/cpu_test")
+set_tests_properties(cpu_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/sim/CMakeLists.txt;7;oqs_test;/root/repo/tests/sim/CMakeLists.txt;0;")
+add_test(stats_test "/root/repo/build/tests/sim/stats_test")
+set_tests_properties(stats_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/sim/CMakeLists.txt;10;oqs_test;/root/repo/tests/sim/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tport_test.dir/tport_test.cc.o"
+  "CMakeFiles/tport_test.dir/tport_test.cc.o.d"
+  "tport_test"
+  "tport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

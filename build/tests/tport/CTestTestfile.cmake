@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tport
+# Build directory: /root/repo/build/tests/tport
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tport_test "/root/repo/build/tests/tport/tport_test")
+set_tests_properties(tport_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/tport/CMakeLists.txt;1;oqs_test;/root/repo/tests/tport/CMakeLists.txt;0;")
