@@ -11,7 +11,8 @@
 //   * cores per node           -> threaded modes under-provisioned at 1 core.
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  oqs::bench::TraceSession trace_session(argc, argv);
   using namespace oqs;
   using namespace oqs::bench;
 

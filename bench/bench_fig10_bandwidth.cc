@@ -7,7 +7,8 @@
 // NIC; both saturate near the PCI-X rate at 1MB.
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  oqs::bench::TraceSession trace_session(argc, argv);
   using namespace oqs;
   using namespace oqs::bench;
 

@@ -8,7 +8,8 @@
 // polling.
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  oqs::bench::TraceSession trace_session(argc, argv);
   using namespace oqs;
   using namespace oqs::bench;
 

@@ -66,7 +66,8 @@ LayerResult layered_pingpong(std::size_t bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oqs::bench::TraceSession trace_session(argc, argv);
   print_header("Fig. 9 — per-layer communication cost, one-way (us)",
                {"QDMA(64+N)", "PTL latency", "PML cost", "total"});
   for (std::size_t s : {std::size_t{0}, std::size_t{2}, std::size_t{8},

@@ -38,7 +38,8 @@ double bcast_us(int nprocs, std::size_t bytes, bool hw) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oqs::bench::TraceSession trace_session(argc, argv);
   std::printf("Hardware vs software broadcast, 1KB payload (us per bcast)\n");
   std::printf("%-8s %14s %14s\n", "procs", "hw-bcast", "binomial-p2p");
   for (int n : {2, 4, 8})

@@ -46,7 +46,8 @@ double send_recv_us(std::size_t bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oqs::bench::TraceSession trace_session(argc, argv);
   std::printf("One-sided put+fence vs two-sided send/recv (us per transfer)\n");
   std::printf("%-10s %14s %14s %16s\n", "size", "put+fence", "send+recv-rt",
               "put x8 (amort.)");

@@ -45,7 +45,8 @@ double goodput_mbps(double corruption, std::size_t bytes, int count) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oqs::bench::TraceSession trace_session(argc, argv);
   std::printf("Reliability overhead on a clean wire (one-way latency, us)\n");
   std::printf("%-10s %12s %12s\n", "size", "off", "on");
   for (std::size_t s : {4ul, 1024ul, 4096ul, 65536ul}) {

@@ -11,7 +11,8 @@
 // (CPU/memory contention, default interrupt affinity).
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  oqs::bench::TraceSession trace_session(argc, argv);
   using namespace oqs;
   using namespace oqs::bench;
 

@@ -11,9 +11,55 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "openqs.h"
 
 namespace oqs::bench {
+
+// Optional trace/metric capture, driven by the bench command line:
+//   bench_fig9 --trace=out.json   record every instrumented event and write
+//                                 a Chrome trace file on exit (open it in
+//                                 Perfetto or chrome://tracing)
+//   bench_fig9 --metrics          dump the metric registry to stderr on exit
+// Construct one at the top of main(); capture spans the whole process.
+// Tracing records no simulated time, so the printed numbers are identical
+// with and without it.
+class TraceSession {
+ public:
+  TraceSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--trace=", 0) == 0)
+        path_ = arg.substr(sizeof("--trace=") - 1);
+      else if (arg == "--trace")
+        path_ = "trace.json";
+      else if (arg == "--metrics")
+        metrics_ = true;
+    }
+    if (!path_.empty()) obs::set_tracer(&tracer_);
+  }
+
+  ~TraceSession() {
+    if (metrics_) std::fputs(obs::metrics().to_string().c_str(), stderr);
+    if (path_.empty()) return;
+    obs::set_tracer(nullptr);
+    if (tracer_.write_chrome_json_file(path_))
+      std::printf("# trace: %zu events, digest %016llx -> %s\n",
+                  tracer_.size(),
+                  static_cast<unsigned long long>(tracer_.digest()),
+                  path_.c_str());
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  const obs::Tracer& tracer() const { return tracer_; }
+
+ private:
+  obs::Tracer tracer_;
+  std::string path_;
+  bool metrics_ = false;
+};
 
 // Paper methodology: "the first 100 iterations are used to warm up".
 inline constexpr int kWarmup = 100;

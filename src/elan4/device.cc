@@ -5,6 +5,8 @@
 
 #include "base/log.h"
 #include "elan4/qsnet.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace oqs::elan4 {
 
@@ -31,6 +33,8 @@ E4Event* Elan4Device::alloc_event(std::string name) {
 
 E4Addr Elan4Device::map(void* host, std::size_t len) {
   compute(params().nic_mmu_lookup_ns);  // host builds the page-table entry
+  OQS_METRIC_INC("elan4.mmu.maps");
+  OQS_TRACE_INSTANT(node_, "elan4", "mmu.map", "len", len);
   return nic().mmu(ctx_).map(host, len);
 }
 
@@ -79,6 +83,7 @@ Status Elan4Device::rdma_write(Vpid dest, E4Addr local_src, E4Addr remote_dst,
                                E4Event* remote_event) {
   if (closed_) return Status::kShutdown;
   compute(params().host_rdma_post_ns);
+  OQS_TRACE_INSTANT(node_, "elan4", "rdma_write.post", "len", len);
   RdmaWriteCmd cmd;
   cmd.src_vpid = vpid_;
   cmd.dest_vpid = dest;
@@ -95,6 +100,7 @@ Status Elan4Device::rdma_read(Vpid dest, E4Addr remote_src, E4Addr local_dst,
                               std::uint32_t len, E4Event* local_event) {
   if (closed_) return Status::kShutdown;
   compute(params().host_rdma_post_ns);
+  OQS_TRACE_INSTANT(node_, "elan4", "rdma_read.post", "len", len);
   RdmaReadCmd cmd;
   cmd.src_vpid = vpid_;
   cmd.dest_vpid = dest;

@@ -2,6 +2,8 @@
 
 #include "base/log.h"
 #include "elan4/nic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace oqs::elan4 {
 
@@ -22,6 +24,7 @@ void E4Event::fire(Status status) {
     // (paper Fig. 5d) — the count goes negative and nothing triggers.
     --count_;
     ++lost_fires_;
+    OQS_METRIC_INC("elan4.event.lost_fires");
     log::debug("elan4", "event '", name_, "' lost a fire (count now ", count_, ")");
     return;
   }
@@ -33,7 +36,12 @@ void E4Event::trigger(Status status) {
   done_ = true;
   status_ = status;
   ++triggers_;
+  OQS_METRIC_INC("elan4.event.triggers");
+  OQS_TRACE_INSTANT(nic_ != nullptr ? nic_->node() : -1, "elan4",
+                    "event.trigger", "chained", chained_.size(), "waiters",
+                    waiters_.size());
   if (!chained_.empty() && nic_ != nullptr) {
+    OQS_METRIC_ADD("elan4.event.chain_fires", chained_.size());
     // The NIC launches the chained commands itself; no host round trip.
     std::vector<Command> cmds = std::move(chained_);
     chained_.clear();

@@ -7,6 +7,8 @@
 #include "base/log.h"
 #include "elan4/event.h"
 #include "elan4/qsnet.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace oqs::elan4 {
 
@@ -19,11 +21,14 @@ sim::Node* Elan4Nic::host_node() { return &net_.node(node_); }
 
 void Elan4Nic::submit(Command cmd) {
   ++commands_;
+  OQS_METRIC_INC("elan4.nic.commands");
   process(std::move(cmd));
 }
 
 void Elan4Nic::submit_chained(Command cmd) {
   ++commands_;
+  OQS_METRIC_INC("elan4.nic.commands");
+  OQS_METRIC_INC("elan4.nic.chained_commands");
   if (auto* q = std::get_if<QdmaCmd>(&cmd)) q->preloaded = true;
   process(std::move(cmd));
 }
@@ -75,8 +80,14 @@ void Elan4Nic::do_qdma(QdmaCmd&& cmd) {
   const sim::Time inject_at = tx_.reserve_cut_through(
       engine().now(), startup + ModelParams::xfer_ns(len, p.pci_mbps), startup);
 
-  engine().schedule_at(inject_at, [this, cmd = std::move(cmd), len]() mutable {
+  const sim::Time posted_at = engine().now();
+  engine().schedule_at(inject_at, [this, cmd = std::move(cmd), len,
+                                   posted_at]() mutable {
     // Local completion: the NIC has read the host buffer and injected.
+    OQS_TRACE_SPAN_FROM(posted_at, node_, "elan4", "qdma.inject", "len", len,
+                        "dst_vpid", static_cast<std::uint64_t>(cmd.dest_vpid));
+    OQS_METRIC_INC("elan4.qdma.posted");
+    OQS_METRIC_ADD("elan4.qdma.tx_bytes", len);
     if (cmd.local_event != nullptr) cmd.local_event->fire();
     if (!net_.capability().is_live(cmd.dest_vpid)) {
       ++rx_drops_;
@@ -108,9 +119,11 @@ void Elan4Nic::rx_qdma(Vpid src, int queue_id, std::vector<std::uint8_t> data) {
   // the upper layer can still attribute the damage).
   net_.maybe_corrupt(data, /*protect_prefix=*/96);
   engine().schedule_at(done, [this, src, queue_id, data = std::move(data)]() mutable {
+    OQS_METRIC_ADD("elan4.qdma.rx_bytes", data.size());
     QdmaQueue* q = find_queue(queue_id);
     if (q == nullptr) {
       ++rx_drops_;
+      OQS_METRIC_INC("elan4.nic.rx_drops");
       log::warn("elan4", "QDMA for unknown queue ", queue_id, " on node ", node_);
       return;
     }
@@ -173,6 +186,7 @@ void Elan4Nic::do_rdma_write(RdmaWriteCmd&& cmd) {
   std::uint64_t offset = 0;
   bool first = true;
   sim::Time earliest = engine().now();
+  const sim::Time posted_at = engine().now();
   while (remaining > 0) {
     const std::uint32_t frag = remaining < p.mtu ? remaining : p.mtu;
     remaining -= frag;
@@ -188,7 +202,16 @@ void Elan4Nic::do_rdma_write(RdmaWriteCmd&& cmd) {
 
     const int ack_node = node_;
     engine().schedule_at(inject_at, [this, dst, dst_ctx, frag, offset, last,
-                                     src_host, cmd, fault_seen, ack_node]() {
+                                     src_host, cmd, fault_seen, ack_node,
+                                     posted_at]() {
+      (void)posted_at;
+      OQS_METRIC_ADD("elan4.rdma.tx_bytes", frag);
+      if (last) {
+        OQS_METRIC_INC("elan4.rdma.writes");
+        OQS_TRACE_SPAN_FROM(posted_at, node_, "elan4", "rdma_write.inject",
+                            "len", cmd.len, "dst_vpid",
+                            static_cast<std::uint64_t>(cmd.dest_vpid));
+      }
       std::vector<std::uint8_t> data(frag);
       std::memcpy(data.data(), src_host + offset, frag);
       net_.fabric().transmit(
@@ -218,15 +241,19 @@ void Elan4Nic::rx_rdma_payload(ContextId ctx, E4Addr dst, std::uint64_t offset,
   engine().schedule_at(done, [this, ctx, dst, offset, data = std::move(data), last,
                               remote_event, ack_node, fault_seen,
                               ack_event]() mutable {
+    OQS_METRIC_ADD("elan4.rdma.rx_bytes", data.size());
     Status st = Status::kOk;
     void* host = mmu(ctx).translate(dst + offset, data.size(), &st);
     if (!ok(st)) {
       ++translation_faults_;
+      OQS_METRIC_INC("elan4.nic.translation_faults");
       if (fault_seen) *fault_seen = true;
     } else if (!data.empty()) {
       std::memcpy(host, data.data(), data.size());
     }
     if (last) {
+      OQS_TRACE_INSTANT(node_, "elan4", "rdma.land", "offset_end",
+                        offset + data.size());
       const Status final_st =
           (fault_seen && *fault_seen) ? Status::kFault : Status::kOk;
       if (remote_event != nullptr) remote_event->fire(final_st);
@@ -374,6 +401,9 @@ void Elan4Nic::do_rdma_read(RdmaReadCmd&& cmd) {
   const int dst_node = net_.node_of(cmd.dest_vpid);
   Elan4Nic* dst = &net_.nic(dst_node, rail_);
 
+  OQS_TRACE_INSTANT(node_, "elan4", "rdma_read.request", "len", cmd.len,
+                    "dst_vpid", static_cast<std::uint64_t>(cmd.dest_vpid));
+  OQS_METRIC_INC("elan4.rdma.reads");
   const sim::Time svc = p.nic_rdma_start_ns + p.nic_mmu_lookup_ns;
   const sim::Time sent_at = tx_.reserve(engine().now(), svc);
   engine().schedule_at(sent_at, [this, dst, cmd]() {
@@ -437,6 +467,12 @@ void Elan4Nic::rx_rdma_get(RdmaReadCmd cmd) {
 
     engine().schedule_at(inject_at, [this, req, req_ctx, frag, offset, last,
                                      src_host, cmd, fault_seen]() {
+      // Read-backs cross the wire as RDMA payload, so they enter the same
+      // tx/rx byte counters as writes (conservation holds across schemes).
+      OQS_METRIC_ADD("elan4.rdma.tx_bytes", frag);
+      if (last)
+        OQS_TRACE_INSTANT(node_, "elan4", "rdma_read.stream_back", "len",
+                          cmd.len);
       std::vector<std::uint8_t> data(frag);
       std::memcpy(data.data(), src_host + offset, frag);
       net_.fabric().transmit(

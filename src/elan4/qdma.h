@@ -15,6 +15,8 @@
 
 #include "base/params.h"
 #include "elan4/e4_types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/node.h"
 
@@ -51,6 +53,7 @@ class QdmaQueue {
     if (ring_.empty()) return false;
     *out = std::move(ring_.front());
     ring_.pop_front();
+    obs::metrics().gauge("elan4.qdma.occupancy").fall();
     return true;
   }
 
@@ -69,10 +72,20 @@ class QdmaQueue {
   void post(Vpid src, std::vector<std::uint8_t> data) {
     if (ring_.size() >= num_slots_) {
       ++overflows_;
+      OQS_METRIC_INC("elan4.qdma.overflows");
       return;
     }
     ring_.push_back(Slot{src, std::move(data)});
     ++posted_;
+    OQS_METRIC_INC("elan4.qdma.landed");
+    // Aggregate occupancy across all queues; per-queue depth goes to the
+    // depth gauge's high-water mark (tests assert hiwater <= num_slots).
+    obs::metrics().gauge("elan4.qdma.occupancy").rise();
+    obs::metrics().gauge("elan4.qdma.depth").set(
+        static_cast<std::int64_t>(ring_.size()));
+    OQS_TRACE_INSTANT(node_ != nullptr ? node_->id() : -1, "elan4", "qdma.land",
+                      "queue", static_cast<std::uint64_t>(id_), "depth",
+                      ring_.size());
     if (waiters_.empty()) return;
     // Interrupt-driven wakeup; concurrent IRQs serialize on the node.
     sim::Time delay = params_.interrupt_ns;

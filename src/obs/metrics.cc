@@ -1,0 +1,67 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace oqs::obs {
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry* r = new MetricRegistry();  // never destroyed:
+  return *r;  // instrumentation may run from static destructors
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricRegistry::Snapshot MetricRegistry::snapshot() const {
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s[name] = c->value();
+  for (const auto& [name, g] : gauges_) {
+    s[name] = static_cast<std::uint64_t>(g->value());
+    s[name + ".hiwater"] = static_cast<std::uint64_t>(g->hiwater());
+  }
+  for (const auto& [name, h] : histograms_) {
+    s[name + ".count"] = h->stats().count();
+    s[name + ".mean"] = static_cast<std::uint64_t>(h->stats().mean());
+    s[name + ".max"] = static_cast<std::uint64_t>(h->stats().max());
+  }
+  return s;
+}
+
+MetricRegistry::Snapshot MetricRegistry::diff(const Snapshot& before,
+                                              const Snapshot& after) {
+  Snapshot d;
+  for (const auto& [name, v] : after) {
+    auto it = before.find(name);
+    d[name] = v - (it == before.end() ? 0 : it->second);
+  }
+  return d;
+}
+
+void MetricRegistry::reset() {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricRegistry::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : snapshot()) os << name << " " << v << "\n";
+  return os.str();
+}
+
+}  // namespace oqs::obs

@@ -1,0 +1,110 @@
+// Process-wide metric registry: named counters, gauges and histograms.
+//
+// Instrumented layers bump counters unconditionally (an integer add — cheap
+// enough to stay on even in benches); tests snapshot the registry before and
+// after a run and assert invariants on the diff, e.g.
+//   elan4.rdma.tx_bytes == elan4.rdma.rx_bytes         (nothing lost)
+//   pml.send.eager + pml.send.rendezvous == pml.send.total
+//   elan4.qdma.queue_hiwater <= queue capacity
+//
+// Names are dot-separated <layer>.<object>.<what>; the full list lives in
+// DESIGN.md §Observability. Counters are registered lazily and never
+// removed, so references obtained once (e.g. via a function-local static at
+// the call site) stay valid for the process lifetime; reset() zeroes values
+// in place. Aggregation is machine-wide: all nodes of a testbed share one
+// registry, which is what the conservation invariants want.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace oqs::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { v_ += d; }
+  std::uint64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+// A level with a high-water mark (queue depths, outstanding ops).
+class Gauge {
+ public:
+  void rise(std::int64_t d = 1) {
+    v_ += d;
+    if (v_ > hiwater_) hiwater_ = v_;
+  }
+  void fall(std::int64_t d = 1) { v_ -= d; }
+  void set(std::int64_t v) {
+    v_ = v;
+    if (v_ > hiwater_) hiwater_ = v_;
+  }
+  std::int64_t value() const { return v_; }
+  std::int64_t hiwater() const { return hiwater_; }
+  void reset() { v_ = hiwater_ = 0; }
+
+ private:
+  std::int64_t v_ = 0;
+  std::int64_t hiwater_ = 0;
+};
+
+class Histogram {
+ public:
+  void add(double x) { acc_.add(x); }
+  const sim::Accumulator& stats() const { return acc_; }
+  void reset() { acc_.reset(); }
+
+ private:
+  sim::Accumulator acc_;
+};
+
+class MetricRegistry {
+ public:
+  // The process-wide instance used by all instrumentation.
+  static MetricRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Flat name -> value view. Gauges export "<name>" (level) and
+  // "<name>.hiwater"; histograms export ".count", ".mean", ".max".
+  using Snapshot = std::map<std::string, std::uint64_t>;
+  Snapshot snapshot() const;
+  // Per-name difference `after - before` (names absent from `before` count
+  // from zero; monotonic counters make this the per-run delta).
+  static Snapshot diff(const Snapshot& before, const Snapshot& after);
+
+  // Zero every value; registered names (and handed-out references) survive.
+  void reset();
+
+  // Human-readable dump, one "name value" line each, sorted by name.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+inline MetricRegistry& metrics() { return MetricRegistry::global(); }
+
+}  // namespace oqs::obs
+
+// Counter bump with one-time name lookup: the static reference resolves on
+// first execution, after which the hot path is a single add.
+#define OQS_METRIC_ADD(name, delta)                                     \
+  do {                                                                  \
+    static ::oqs::obs::Counter& oqs_ctr_ =                              \
+        ::oqs::obs::metrics().counter(name);                            \
+    oqs_ctr_.add(delta);                                                \
+  } while (0)
+#define OQS_METRIC_INC(name) OQS_METRIC_ADD(name, 1)

@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "base/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace oqs::pml {
 
@@ -36,6 +38,8 @@ Ptl* Pml::choose_ptl(int dst_gid) {
 void Pml::start_send(SendRequest& req, int ctx_id, int src_rank, int dst_rank,
                      int tag, int dst_gid) {
   assert(!finalized_);
+  OQS_TRACE_SPAN(span_, ctx_.gid, "pml", "start_send", "len",
+                 req.total_bytes());
   req.set_wake_delay(request_wake_delay_);
   // Opportunistic progress on entry (standard MPI behaviour): connection
   // control traffic — a peer's goodbye before it migrated, for instance —
@@ -65,10 +69,19 @@ void Pml::start_send(SendRequest& req, int ctx_id, int src_rank, int dst_rank,
   req.ptl = ptl;
 
   std::size_t inline_len;
-  if (req.total_bytes() <= ptl->eager_limit())
+  OQS_METRIC_INC("pml.send.total");
+  if (req.total_bytes() <= ptl->eager_limit()) {
     inline_len = req.total_bytes();  // whole message rides the first frag
-  else
+    OQS_METRIC_INC("pml.send.eager");
+    OQS_TRACE_INSTANT(ctx_.gid, "pml", "send.eager", "len", req.total_bytes(),
+                      "dst", static_cast<std::uint64_t>(dst_gid));
+  } else {
     inline_len = inline_rendezvous_ ? ptl->eager_limit() : 0;
+    OQS_METRIC_INC("pml.send.rendezvous");
+    OQS_TRACE_INSTANT(ctx_.gid, "pml", "send.rendezvous", "len",
+                      req.total_bytes(), "dst",
+                      static_cast<std::uint64_t>(dst_gid));
+  }
 
   if (probe_send_to_ptl) probe_send_to_ptl();
   ptl->send_first(req, inline_len);
@@ -83,6 +96,8 @@ bool Pml::matches(const RecvRequest& req, const MatchHeader& hdr) {
 
 void Pml::post_recv(RecvRequest& req) {
   assert(!finalized_);
+  OQS_TRACE_SPAN(span_, ctx_.gid, "pml", "post_recv", "cap", req.capacity);
+  OQS_METRIC_INC("pml.recv.posted");
   req.set_wake_delay(request_wake_delay_);
   ctx_.compute(ctx_.params->pml_match_ns);
   // Check the unexpected queue first, in arrival order.
@@ -90,6 +105,9 @@ void Pml::post_recv(RecvRequest& req) {
     if (matches(req, (*it)->hdr)) {
       std::unique_ptr<FirstFrag> frag = std::move(*it);
       unexpected_.erase(it);
+      OQS_METRIC_INC("pml.match.from_unexpected");
+      OQS_TRACE_INSTANT(ctx_.gid, "pml", "match.unexpected", "len",
+                        frag->hdr.len);
       bind(req, std::move(frag));
       return;
     }
@@ -153,10 +171,14 @@ void Pml::admit(std::unique_ptr<FirstFrag> frag) {
   for (RecvRequest& req : posted_) {
     if (matches(req, frag->hdr)) {
       posted_.erase(req);
+      OQS_METRIC_INC("pml.match.from_posted");
+      OQS_TRACE_INSTANT(ctx_.gid, "pml", "match.posted", "len", frag->hdr.len);
       bind(req, std::move(frag));
       return;
     }
   }
+  OQS_METRIC_INC("pml.match.unexpected_queued");
+  OQS_TRACE_INSTANT(ctx_.gid, "pml", "match.miss", "len", frag->hdr.len);
   unexpected_.push_back(std::move(frag));
 }
 
@@ -200,12 +222,22 @@ void Pml::bind(RecvRequest& req, std::unique_ptr<FirstFrag> frag) {
 
 void Pml::send_progress(SendRequest& req, std::size_t bytes) {
   req.add_progress(bytes);
-  if (req.complete()) ctx_.compute(ctx_.params->pml_complete_ns);
+  if (req.complete()) {
+    ctx_.compute(ctx_.params->pml_complete_ns);
+    OQS_METRIC_INC("pml.send.completed");
+    OQS_TRACE_INSTANT(ctx_.gid, "pml", "send.complete", "len",
+                      req.total_bytes());
+  }
 }
 
 void Pml::recv_progress(RecvRequest& req, std::size_t bytes) {
   req.add_progress(bytes);
-  if (req.complete()) ctx_.compute(ctx_.params->pml_complete_ns);
+  if (req.complete()) {
+    ctx_.compute(ctx_.params->pml_complete_ns);
+    OQS_METRIC_INC("pml.recv.completed");
+    OQS_TRACE_INSTANT(ctx_.gid, "pml", "recv.complete", "len",
+                      req.total_bytes());
+  }
 }
 
 int Pml::progress() {

@@ -5,6 +5,8 @@
 
 #include "base/checksum.h"
 #include "base/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rte/oob.h"  // put_pod/get_pod helpers
 
 namespace oqs::ptl_elan4 {
@@ -152,6 +154,7 @@ bool PtlElan4::admit_frame(Peer& peer, const MatchHeader& hdr,
   std::memcpy(&stored, frame.data() + frame.size() - 4, 4);
   if (crc32c(frame.data(), frame.size() - 4) != stored) {
     ++frames_dropped_;
+    OQS_METRIC_INC("ptl.reliability.frames_dropped");
     log::debug(name_, "frame ", hdr.frame_seq, " from gid ", hdr.src_gid,
                " failed CRC; NACKing ", peer.rx_expected);
     send_nack(hdr.src_gid, peer.rx_expected);
@@ -163,6 +166,7 @@ bool PtlElan4::admit_frame(Peer& peer, const MatchHeader& hdr,
     return true;
   }
   ++frames_dropped_;
+  OQS_METRIC_INC("ptl.reliability.frames_dropped");
   if (delta > 0) send_nack(hdr.src_gid, peer.rx_expected);  // gap: go back
   return false;  // duplicate or future frame: drop
 }
@@ -192,6 +196,9 @@ void PtlElan4::handle_nack(const MatchHeader& hdr) {
   for (std::size_t i = static_cast<std::size_t>(offset); i < peer.sent_log.size();
        ++i) {
     ++retransmissions_;
+    OQS_METRIC_INC("ptl.reliability.retransmissions");
+    OQS_TRACE_INSTANT(node_, "ptl", "reliability.retransmit", "seq",
+                      peer.log_base + i);
     devices_[0]->post_qdma(peer.vpid[0], peer.recv_queue, peer.sent_log[i]);
   }
 }
@@ -226,6 +233,7 @@ void PtlElan4::send_first(pml::SendRequest& req, std::size_t inline_len) {
     req.fail(Status::kUnreachable);
     return;
   }
+  OQS_TRACE_SPAN(span_, node_, "ptl", "send_first", "len", req.total_bytes());
   Peer& peer = pit->second;
   const ModelParams& p = net_.params();
   const std::size_t total = req.total_bytes();
@@ -318,6 +326,9 @@ void PtlElan4::send_first(pml::SendRequest& req, std::size_t inline_len) {
   }
 
   sends_.emplace(id, std::move(op));
+  OQS_METRIC_INC("ptl.rdv.started");
+  OQS_TRACE_INSTANT(node_, "ptl", "rdv.first_frag", "cookie", id, "rest",
+                    total - inline_len);
   post_frame(peer, req.hdr, &body, sizeof(body), inline_buf.data(), inline_len);
   if (inline_len > 0) pml_.send_progress(req, inline_len);
 }
@@ -331,6 +342,8 @@ void PtlElan4::handle_ack(const MatchHeader& hdr, const AckBody& body) {
   PendingSend& op = it->second;
   const Peer& peer = peers_.at(op.gid);
   op.peer_recv_cookie = body.recv_cookie;
+  OQS_TRACE_INSTANT(node_, "ptl", "rdv.ack", "cookie", hdr.cookie, "rest",
+                    op.rest);
 
   int rails_used = 0;
   for (int r = 0; r < opts_.rails; ++r)
@@ -385,6 +398,8 @@ void PtlElan4::complete_send(std::uint64_t id, PendingSend& op) {
       devices_[static_cast<std::size_t>(r)]->unmap(op.src_addr[r]);
   pml::SendRequest* req = op.req;
   const std::size_t rest = op.rest;
+  OQS_METRIC_INC("ptl.rdv.send_done");
+  OQS_TRACE_INSTANT(node_, "ptl", "rdv.send_done", "cookie", id, "rest", rest);
   sends_.erase(id);
   pml_.send_progress(*req, rest);
 }
@@ -415,6 +430,9 @@ void PtlElan4::issue_reads(std::uint64_t id, PendingRecv& op) {
   const Peer& peer = peers_.at(op.gid);
   const bool chain_finack = op.rails_used == 1 && opts_.chained_fin;
   op.awaiting = op.rails_used;
+  OQS_METRIC_ADD("ptl.rdma.read_bytes", op.rest);
+  OQS_TRACE_INSTANT(node_, "ptl", "rdv.issue_reads", "cookie", id, "rest",
+                    op.rest);
   std::size_t off = 0;
   for (int r = 0; r < op.rails_used; ++r) {
     const std::size_t part = op.rails_used == 1 ? op.rest : rail_share(op.rest, r);
@@ -455,6 +473,7 @@ void PtlElan4::matched(pml::RecvRequest& req, std::unique_ptr<pml::FirstFrag> fr
     req.fail(Status::kUnreachable);
     return;
   }
+  OQS_TRACE_SPAN(span_, node_, "ptl", "rdv.matched", "len", ef->hdr.len);
   Peer& peer = pit->second;
   const std::size_t got_inline = ef->inline_data.size();
   const std::uint64_t id = next_id_++;
@@ -495,6 +514,9 @@ void PtlElan4::matched(pml::RecvRequest& req, std::unique_ptr<pml::FirstFrag> fr
   // RDMA-write scheme: expose the landing zone and ACK with its address.
   for (int r = 0; r < opts_.rails; ++r)
     op.dst_addr[r] = devices_[static_cast<std::size_t>(r)]->map(op.dst_ptr, op.rest);
+  OQS_METRIC_ADD("ptl.rdma.write_bytes", op.rest);
+  OQS_TRACE_INSTANT(node_, "ptl", "rdv.ack_sent", "cookie", op.send_cookie,
+                    "rest", op.rest);
   MatchHeader ack;
   ack.kind = FragKind::kAck;
   ack.cookie = op.send_cookie;
@@ -517,6 +539,7 @@ void PtlElan4::complete_recv(std::uint64_t id, PendingRecv& op) {
     charge_crc(op.rest);
     if (crc32c(op.dst_ptr, op.rest) != op.expect_crc) {
       ++data_retries_;
+      OQS_METRIC_INC("ptl.reliability.data_retries");
       if (++op.retries <= opts_.max_data_retries) {
         log::debug(name_, "payload CRC mismatch; re-reading (attempt ",
                    op.retries, ")");
@@ -549,6 +572,8 @@ void PtlElan4::complete_recv(std::uint64_t id, PendingRecv& op) {
   }
   pml::RecvRequest* req = op.req;
   const std::size_t rest = op.rest;
+  OQS_METRIC_INC("ptl.rdv.recv_done");
+  OQS_TRACE_INSTANT(node_, "ptl", "rdv.recv_done", "cookie", id, "rest", rest);
   recvs_.erase(id);
   if (!ok(final_st))
     req->fail(final_st);
@@ -568,8 +593,10 @@ void PtlElan4::handle_fin(const MatchHeader& hdr) {
 void PtlElan4::handle_local_complete(std::uint64_t id) {
   if (id == kRecycleCookie) {
     ++sendbufs_recycled_;  // a 2KB send buffer returned to the pool
+    OQS_METRIC_INC("ptl.sendbuf.recycled");
     return;
   }
+  OQS_TRACE_INSTANT(node_, "ptl", "local_complete", "cookie", id);
   if (auto it = sends_.find(id); it != sends_.end()) {
     if (--it->second.awaiting <= 0) complete_send(id, it->second);
     return;
@@ -587,6 +614,9 @@ void PtlElan4::handle_frame(elan4::QdmaQueue::Slot&& slot) {
   assert(slot.data.size() >= sizeof(MatchHeader));
   MatchHeader hdr;
   std::memcpy(&hdr, slot.data.data(), sizeof(MatchHeader));
+  OQS_TRACE_SPAN(span_, node_, "ptl", "handle_frame", "kind",
+                 static_cast<std::uint64_t>(hdr.kind));
+  OQS_METRIC_INC("ptl.frames.handled");
 
   // Reliability gate: verify the trailer and enforce per-sender ordering
   // before anything is acted on. Self-addressed control frames (chained

@@ -3,22 +3,34 @@
 #include <algorithm>
 
 #include "base/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace oqs::sim {
 
-Engine::Engine() { log::set_clock([this] { return now_; }); }
+Engine::Engine() {
+  log::set_clock([this] { return now_; });
+  obs::set_clock([this] { return now_; });
+}
 
-Engine::~Engine() { log::set_clock(nullptr); }
+Engine::~Engine() {
+  log::set_clock(nullptr);
+  obs::set_clock(nullptr);
+}
 
 Fiber* Engine::spawn(std::string name, std::function<void()> body) {
   fibers_.push_back(std::make_unique<Fiber>(*this, std::move(name), std::move(body)));
   Fiber* f = fibers_.back().get();
+  OQS_METRIC_INC("sim.fiber.spawned");
+  OQS_TRACE_INSTANT(-1, "sim", "fiber.spawn", "live", fibers_.size());
   queue_.push(now_, [this, f] { resume(f); });
   return f;
 }
 
 void Engine::park() {
   assert(current_ != nullptr && "park() outside a fiber");
+  OQS_METRIC_INC("sim.fiber.park");
+  OQS_TRACE_INSTANT(-1, "sim", "fiber.park");
   current_->leave(Fiber::State::kBlocked);
 }
 
@@ -31,6 +43,8 @@ void Engine::sleep(Time dur) {
 
 void Engine::unpark(Fiber* f, Time delay) {
   assert(f != nullptr);
+  OQS_METRIC_INC("sim.fiber.unpark");
+  OQS_TRACE_INSTANT(-1, "sim", "fiber.unpark", "delay", delay);
   queue_.push(now_ + delay, [this, f] { resume(f); });
 }
 
@@ -51,6 +65,11 @@ void Engine::dispatch_one(Time when) {
   EventQueue::Callback cb = queue_.pop(&now_);
   (void)when;
   ++events_executed_;
+  // Hot path: with OQS_TRACE=OFF this compiles away; with it ON but no
+  // tracer installed it is one load and a never-taken branch. Every
+  // dispatched event enters the digest, so the replay fingerprint covers
+  // the DES's complete execution order, not just protocol milestones.
+  OQS_TRACE_INSTANT(-1, "sim", "dispatch", "n", events_executed_);
   cb();
 }
 

@@ -9,25 +9,29 @@
 
 namespace oqs::sim {
 
+// Running moments via Welford's algorithm: the naive sum-of-squares form
+// suffers catastrophic cancellation once mean^2 dominates the variance
+// (e.g. nanosecond timestamps in the 1e9 range with microsecond spread).
 class Accumulator {
  public:
   void add(double x) {
     ++n_;
     sum_ += x;
-    sum2_ += x * x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
   }
 
   std::uint64_t count() const { return n_; }
   double sum() const { return sum_; }
-  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
   double stddev() const {
     if (n_ < 2) return 0.0;
-    const double m = mean();
-    const double var = sum2_ / static_cast<double>(n_) - m * m;
+    const double var = m2_ / static_cast<double>(n_);
     return var > 0.0 ? std::sqrt(var) : 0.0;
   }
   void reset() { *this = Accumulator{}; }
@@ -35,27 +39,35 @@ class Accumulator {
  private:
   std::uint64_t n_ = 0;
   double sum_ = 0.0;
-  double sum2_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-// Samples kept in full; used for medians/percentiles in benches.
+// Samples kept in full; used for medians/percentiles in benches. The sorted
+// view is cached and invalidated by add(), so a sweep of percentile calls
+// after a run sorts once instead of copy+sort per call.
 class Samples {
  public:
-  void add(double x) { v_.push_back(x); }
-  std::size_t count() const { return v_.size(); }
-  double percentile(double p) {
-    if (v_.empty()) return 0.0;
-    std::vector<double> s = v_;
-    std::sort(s.begin(), s.end());
-    const double idx = p * static_cast<double>(s.size() - 1);
-    const std::size_t lo = static_cast<std::size_t>(idx);
-    const std::size_t hi = std::min(lo + 1, s.size() - 1);
-    const double frac = idx - static_cast<double>(lo);
-    return s[lo] * (1.0 - frac) + s[hi] * frac;
+  void add(double x) {
+    v_.push_back(x);
+    sorted_ = false;
   }
-  double median() { return percentile(0.5); }
+  std::size_t count() const { return v_.size(); }
+  double percentile(double p) const {
+    if (v_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(v_.begin(), v_.end());
+      sorted_ = true;
+    }
+    const double idx = p * static_cast<double>(v_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, v_.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return v_[lo] * (1.0 - frac) + v_[hi] * frac;
+  }
+  double median() const { return percentile(0.5); }
   double mean() const {
     if (v_.empty()) return 0.0;
     double sum = 0.0;
@@ -64,7 +76,10 @@ class Samples {
   }
 
  private:
-  std::vector<double> v_;
+  // Element order is an implementation detail (only sorted views are
+  // exposed), so sorting in place under a const API is safe.
+  mutable std::vector<double> v_;
+  mutable bool sorted_ = false;
 };
 
 }  // namespace oqs::sim

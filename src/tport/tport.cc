@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "base/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace oqs::tport {
 
@@ -29,6 +31,9 @@ Tport::TxReq* Tport::send(Vpid dst, std::uint64_t tag, const void* buf,
                           std::size_t len) {
   elan4::QsNet& net = domain_.net_;
   const ModelParams& p = net.params();
+  OQS_TRACE_SPAN(span_, node_, "tport", "send", "len", len);
+  OQS_METRIC_INC("tport.tx_msgs");
+  OQS_METRIC_ADD("tport.tx_bytes", len);
   device_->compute(p.tport_cmd_ns);
 
   tx_reqs_.push_back(std::make_unique<TxReq>());
@@ -111,6 +116,8 @@ Tport::TxReq* Tport::send(Vpid dst, std::uint64_t tag, const void* buf,
 Tport::RxReq* Tport::recv(Vpid src, std::uint64_t tag, std::uint64_t tag_mask,
                           void* buf, std::size_t capacity) {
   const ModelParams& p = domain_.net_.params();
+  OQS_TRACE_SPAN(span_, node_, "tport", "recv_post", "cap", capacity);
+  OQS_METRIC_INC("tport.rx_posted");
   device_->compute(p.tport_cmd_ns);
 
   rx_reqs_.push_back(std::make_unique<RxReq>());
@@ -178,7 +185,11 @@ void Tport::rx_fragment(std::uint64_t msg_id, Vpid src, int src_node,
           break;
         }
       }
+      OQS_TRACE_INSTANT(node_, "tport",
+                        in.is_matched ? "nic_match.hit" : "nic_match.miss",
+                        "len", total);
       if (!in.is_matched) {
+        OQS_METRIC_INC("tport.unexpected");
         unexpected_.push_back(Unexpected{src, tag, std::vector<std::uint8_t>(total),
                                          false, nullptr, nullptr, 0});
         in.unex = std::prev(unexpected_.end());
@@ -215,6 +226,9 @@ void Tport::rx_fragment(std::uint64_t msg_id, Vpid src, int src_node,
 
 void Tport::finish_inbound(Inbound& in) {
   elan4::QsNet& net = domain_.net_;
+  OQS_METRIC_INC("tport.rx_msgs");
+  OQS_METRIC_ADD("tport.rx_bytes", in.total);
+  OQS_TRACE_INSTANT(node_, "tport", "rx_complete", "len", in.total);
   if (in.is_matched) {
     RxReq* rx = in.matched.req;
     rx->len = std::min(in.total, in.matched.capacity);

@@ -1,0 +1,100 @@
+// MetricRegistry unit tests: lazy registration, stable references,
+// snapshot/diff, reset-in-place.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace oqs::obs {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, TracksHighWater) {
+  Gauge g;
+  g.rise(3);
+  g.rise(2);
+  g.fall(4);
+  g.rise(1);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.hiwater(), 5);
+  g.set(10);
+  EXPECT_EQ(g.hiwater(), 10);
+  g.set(1);
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_EQ(g.hiwater(), 10);  // hiwater never falls
+}
+
+TEST(Registry, LazyRegistrationReturnsSameObject) {
+  MetricRegistry r;
+  Counter& a = r.counter("x.y");
+  a.add(5);
+  EXPECT_EQ(r.counter("x.y").value(), 5u);
+  EXPECT_EQ(&r.counter("x.y"), &a);
+}
+
+TEST(Registry, ReferencesSurviveReset) {
+  MetricRegistry r;
+  Counter& c = r.counter("c");
+  Gauge& g = r.gauge("g");
+  c.add(7);
+  g.rise(3);
+  r.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.hiwater(), 0);
+  c.add(2);  // the old reference still feeds the registry
+  EXPECT_EQ(r.counter("c").value(), 2u);
+}
+
+TEST(Registry, SnapshotAndDiff) {
+  MetricRegistry r;
+  r.counter("sends").add(10);
+  r.gauge("depth").rise(4);
+  const auto before = r.snapshot();
+  r.counter("sends").add(5);
+  r.counter("recvs").add(2);  // registered after `before`: counts from zero
+  const auto after = r.snapshot();
+
+  const auto d = MetricRegistry::diff(before, after);
+  EXPECT_EQ(d.at("sends"), 5u);
+  EXPECT_EQ(d.at("recvs"), 2u);
+  EXPECT_EQ(after.at("depth.hiwater"), 4u);
+}
+
+TEST(Registry, HistogramExportsSummary) {
+  MetricRegistry r;
+  r.histogram("lat").add(1.0);
+  r.histogram("lat").add(3.0);
+  const auto s = r.snapshot();
+  EXPECT_EQ(s.at("lat.count"), 2u);
+  EXPECT_EQ(s.at("lat.mean"), 2u);
+  EXPECT_EQ(s.at("lat.max"), 3u);
+}
+
+TEST(Registry, ToStringListsNames) {
+  MetricRegistry r;
+  r.counter("alpha").add(1);
+  r.gauge("beta").rise(2);
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+}
+
+TEST(Macros, BumpTheGlobalRegistry) {
+  metrics().reset();
+  const auto before = metrics().snapshot();
+  OQS_METRIC_INC("test.macro.hits");
+  OQS_METRIC_ADD("test.macro.hits", 2);
+  const auto d =
+      MetricRegistry::diff(before, metrics().snapshot());
+  EXPECT_EQ(d.at("test.macro.hits"), 3u);
+}
+
+}  // namespace
+}  // namespace oqs::obs

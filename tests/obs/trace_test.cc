@@ -1,0 +1,128 @@
+// Tracer unit tests: digest semantics, storage cap, Chrome JSON shape.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+namespace oqs::obs {
+namespace {
+
+TEST(Tracer, RecordsEventsInOrder) {
+  Tracer t;
+  t.record('i', 0, "sim", "alpha", "n", 1);
+  t.record('i', 1, "elan4", "beta");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_STREQ(t.events()[0].name, "alpha");
+  EXPECT_EQ(t.events()[0].v0, 1u);
+  EXPECT_STREQ(t.events()[1].layer, "elan4");
+}
+
+TEST(Tracer, DigestIsOrderSensitive) {
+  Tracer ab;
+  ab.record('i', 0, "sim", "a");
+  ab.record('i', 0, "sim", "b");
+  Tracer ba;
+  ba.record('i', 0, "sim", "b");
+  ba.record('i', 0, "sim", "a");
+  EXPECT_NE(ab.digest(), ba.digest());
+
+  Tracer ab2;
+  ab2.record('i', 0, "sim", "a");
+  ab2.record('i', 0, "sim", "b");
+  EXPECT_EQ(ab.digest(), ab2.digest());
+}
+
+TEST(Tracer, DigestSeesArgsAndNode) {
+  Tracer a, b;
+  a.record('i', 0, "sim", "x", "len", 100);
+  b.record('i', 0, "sim", "x", "len", 101);
+  EXPECT_NE(a.digest(), b.digest());
+
+  Tracer c, d;
+  c.record('i', 3, "sim", "x");
+  d.record('i', 4, "sim", "x");
+  EXPECT_NE(c.digest(), d.digest());
+}
+
+TEST(Tracer, StoreLimitDropsStorageNotDigest) {
+  Tracer full, capped;
+  capped.set_store_limit(2);
+  for (int i = 0; i < 10; ++i) {
+    full.record('i', 0, "sim", "e", "i", static_cast<std::uint64_t>(i));
+    capped.record('i', 0, "sim", "e", "i", static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(full.size(), 10u);
+  EXPECT_EQ(capped.size(), 2u);
+  EXPECT_EQ(capped.dropped(), 8u);
+  EXPECT_EQ(full.digest(), capped.digest());
+}
+
+TEST(Tracer, CountLayer) {
+  Tracer t;
+  t.record('i', 0, "sim", "a");
+  t.record('i', 0, "pml", "b");
+  t.record('i', 0, "sim", "c");
+  EXPECT_EQ(t.count_layer("sim"), 2u);
+  EXPECT_EQ(t.count_layer("pml"), 1u);
+  EXPECT_EQ(t.count_layer("ptl"), 0u);
+}
+
+TEST(Tracer, ChromeJsonHasEventsAndArgs) {
+  Tracer t;
+  set_clock([] { return TimeNs{2500}; });
+  set_tracer(&t);
+  t.record('i', 1, "pml", "send.eager", "len", 64, "dst", 3);
+  t.record_span(500, 2, "ptl", "send_first", "len", 64);
+  set_tracer(nullptr);
+  set_clock(nullptr);
+
+  std::ostringstream os;
+  t.write_chrome_json(os);
+  const std::string js = os.str();
+  EXPECT_NE(js.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(js.find("\"send.eager\""), std::string::npos);
+  EXPECT_NE(js.find("\"pml\""), std::string::npos);
+  EXPECT_NE(js.find("\"len\""), std::string::npos);
+  EXPECT_NE(js.find("\"ph\":\"X\""), std::string::npos);  // the span
+  EXPECT_NE(js.find("\"ph\":\"i\""), std::string::npos);  // the instant
+  // 2000ns span -> 2us duration in chrome's microsecond unit.
+  EXPECT_NE(js.find("\"dur\":2.000"), std::string::npos);
+  // Balanced braces is a cheap well-formedness proxy (no JSON lib here).
+  EXPECT_EQ(std::count(js.begin(), js.end(), '{'),
+            std::count(js.begin(), js.end(), '}'));
+}
+
+TEST(Span, EmitsCompleteEventCoveringScope) {
+  Tracer t;
+  TimeNs now = 1000;
+  set_clock([&now] { return now; });
+  set_tracer(&t);
+  {
+    Span span(5, "pml", "start_send", "len", 4096);
+    now = 4000;  // simulated time advances inside the scope
+  }
+  set_tracer(nullptr);
+  set_clock(nullptr);
+
+  ASSERT_EQ(t.size(), 1u);
+  const TraceEvent& e = t.events()[0];
+  EXPECT_EQ(e.ph, 'X');
+  EXPECT_EQ(e.ts, 1000u);
+  EXPECT_EQ(e.dur, 3000u);
+  EXPECT_EQ(e.node, 5);
+  EXPECT_STREQ(e.name, "start_send");
+}
+
+TEST(Macros, SafeWithNoTracerInstalled) {
+  set_tracer(nullptr);
+  // Must not crash or record anywhere.
+  OQS_TRACE_INSTANT(0, "sim", "noop", "x", 1);
+  OQS_TRACE_SPAN(span_, 0, "sim", "noop_span");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace oqs::obs

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace oqs::sim {
 namespace {
 
@@ -47,6 +49,70 @@ TEST(Samples, SingleValue) {
   s.add(7.0);
   EXPECT_DOUBLE_EQ(s.median(), 7.0);
   EXPECT_DOUBLE_EQ(s.percentile(0.9), 7.0);
+}
+
+TEST(Samples, EmptyPercentileIsZero) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.count(), 0u);
+}
+
+// The sorted view is cached; add() must invalidate it or percentiles after
+// further samples would read the stale order.
+TEST(Samples, AddAfterPercentileInvalidatesCache) {
+  Samples s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);  // forces the sort
+  s.add(0.0);                          // smaller than everything seen
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  s.add(40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 40.0);
+  // Repeated queries with no adds in between stay consistent.
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);
+}
+
+TEST(Accumulator, ConstantSeriesHasZeroStddev) {
+  Accumulator a;
+  for (int i = 0; i < 1000; ++i) a.add(3.25);
+  EXPECT_EQ(a.count(), 1000u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.25);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, SingleSampleHasZeroStddev) {
+  Accumulator a;
+  a.add(123.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 123.0);
+  EXPECT_DOUBLE_EQ(a.max(), 123.0);
+}
+
+// Welford's update must survive a huge offset: with the naive
+// sum-of-squares form, mean^2 ~ 1e24 swamps the ~4.0 variance entirely
+// (double has ~16 significant digits), returning 0 or NaN.
+TEST(Accumulator, WelfordSurvivesLargeOffset) {
+  const double offset = 1.0e12;  // ~ns timestamps after 1000 s of sim time
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(offset + x);
+  // At this offset a double carries ~1e-4 of absolute slack per sample;
+  // Welford keeps the error near that floor, while the naive form loses
+  // every significant digit of the variance (error ~1e8 in the 4.0 result).
+  EXPECT_NEAR(a.mean(), offset + 5.0, 1e-3);
+  EXPECT_NEAR(a.stddev(), 2.0, 1e-3);
+}
+
+TEST(Accumulator, NegativeValues) {
+  Accumulator a;
+  for (double x : {-2.0, -4.0, 2.0, 4.0}) a.add(x);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -4.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_NEAR(a.stddev(), std::sqrt(10.0), 1e-12);
 }
 
 }  // namespace
