@@ -25,6 +25,9 @@ struct QdmaCmd {
   // Set on commands launched by a chained event: the descriptor is already
   // resident in NIC memory, so it skips the host descriptor fetch.
   bool preloaded = false;
+  // Set by senders whose protocol recovers from loss (the Elan4 PTL's
+  // sequenced frame stream): opts the packet into wire fault injection.
+  bool lossy = false;
 };
 
 // RDMA write: local [src, src+len) -> remote [dst, dst+len).

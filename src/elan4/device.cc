@@ -54,7 +54,7 @@ Status Elan4Device::destroy_queue(QdmaQueue* q) {
 
 Status Elan4Device::post_qdma(Vpid dest, int queue_id,
                               std::span<const std::uint8_t> data,
-                              E4Event* local_event) {
+                              E4Event* local_event, bool lossy) {
   if (closed_) return Status::kShutdown;
   if (data.size() > 2048) return Status::kBadParam;  // QDMA hard limit
   compute(params().host_qdma_post_ns);
@@ -64,6 +64,7 @@ Status Elan4Device::post_qdma(Vpid dest, int queue_id,
   cmd.dest_queue = queue_id;
   cmd.data.assign(data.begin(), data.end());
   cmd.local_event = local_event;
+  cmd.lossy = lossy;
   nic().submit(std::move(cmd));
   return Status::kOk;
 }

@@ -55,9 +55,11 @@ class Elan4Device {
   // --- QDMA ---
   QdmaQueue* create_queue(std::uint32_t num_slots, std::uint32_t slot_size = 2048);
   Status destroy_queue(QdmaQueue* q);
-  // Post up to slot_size bytes into (dest VPID, queue id).
+  // Post up to slot_size bytes into (dest VPID, queue id). `lossy` opts the
+  // wire packet into fault injection — set it only for traffic whose
+  // protocol recovers from loss.
   Status post_qdma(Vpid dest, int queue_id, std::span<const std::uint8_t> data,
-                   E4Event* local_event = nullptr);
+                   E4Event* local_event = nullptr, bool lossy = false);
   // Non-blocking poll of a local queue (charges one poll).
   bool queue_poll(QdmaQueue* q, QdmaQueue::Slot* out);
   // Block until the queue has a message (interrupt-driven wakeup).

@@ -98,12 +98,13 @@ void Elan4Nic::do_qdma(QdmaCmd&& cmd) {
     Elan4Nic* dst = &net_.nic(dst_node, rail_);
     const Vpid src = cmd.src_vpid;
     const int queue_id = cmd.dest_queue;
+    const auto cls = cmd.lossy ? net::Delivery::kLossy : net::Delivery::kGuaranteed;
     net_.fabric().transmit(
         node_, dst_node, len + kQdmaWireHeader,
         [dst, src, queue_id, data = std::move(cmd.data)]() mutable {
           dst->rx_qdma(src, queue_id, std::move(data));
         },
-        rail_);
+        rail_, cls);
   });
 }
 

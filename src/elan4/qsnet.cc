@@ -18,25 +18,39 @@ QsNet::QsNet(sim::Engine& engine, const ModelParams& params, int nodes,
   for (int i = 0; i < nodes; ++i)
     for (int r = 0; r < rails; ++r)
       nics_.push_back(std::make_unique<Elan4Nic>(*this, i, r));
+
+  // ModelParams can pre-arm the injector (bench flags route through here).
+  net::FaultProfile from_params;
+  from_params.drop = params_.fault_drop_prob;
+  from_params.corrupt = params_.fault_corrupt_prob;
+  from_params.duplicate = params_.fault_duplicate_prob;
+  from_params.delay = params_.fault_delay_prob;
+  from_params.delay_ns = params_.fault_delay_ns;
+  if (from_params.any()) set_faults(from_params, params_.fault_seed);
 }
 
 QsNet::~QsNet() = default;
 
+void QsNet::set_faults(const net::FaultProfile& profile, std::uint64_t seed) {
+  if (!profile.any()) {
+    faults_.reset();
+    fabric_->set_fault_injector(nullptr);
+    return;
+  }
+  faults_ = std::make_unique<net::FaultInjector>(profile, seed);
+  fabric_->set_fault_injector(faults_.get());
+}
+
 void QsNet::set_corruption(double prob, std::uint64_t seed) {
-  corruption_prob_ = prob;
-  corruption_rng_ = prob > 0.0 ? std::make_unique<sim::Rng>(seed) : nullptr;
+  net::FaultProfile profile;
+  profile.corrupt = prob;
+  set_faults(profile, seed);
 }
 
 bool QsNet::maybe_corrupt(std::vector<std::uint8_t>& data,
                           std::size_t protect_prefix) {
-  if (corruption_rng_ == nullptr || data.size() <= protect_prefix) return false;
-  if (!corruption_rng_->chance(corruption_prob_)) return false;
-  const std::size_t idx =
-      corruption_rng_->uniform(protect_prefix, data.size() - 1);
-  const int bit = static_cast<int>(corruption_rng_->uniform(0, 7));
-  data[idx] ^= static_cast<std::uint8_t>(1 << bit);
-  ++corruptions_;
-  return true;
+  if (faults_ == nullptr) return false;
+  return faults_->corrupt(data, protect_prefix);
 }
 
 std::unique_ptr<Elan4Device> QsNet::open(int node, int rail) {

@@ -53,12 +53,17 @@ class QsNet {
   ContextId context_of(Vpid vpid) const { return capability_.context_of(vpid); }
 
   // --- fault injection (reliability testing) ---
-  // With probability `prob`, each delivered payload gets one byte flipped
-  // (beyond any protected prefix). Deterministic per seed.
+  // Install a full fault profile (drop / corrupt / duplicate / delay) on
+  // the fabric, replacing any previous injector. Deterministic per seed.
+  void set_faults(const net::FaultProfile& profile, std::uint64_t seed = 1);
+  // Legacy knob: with probability `prob`, each delivered payload gets one
+  // bit flipped (beyond any protected prefix). Keeps the historical draw
+  // sequence so existing test seeds reproduce the same corruption schedule.
   void set_corruption(double prob, std::uint64_t seed = 1);
-  // Called by NICs on landing data. Returns true if a byte was flipped.
+  // Called by NICs on landing data. Returns true if a bit was flipped.
   bool maybe_corrupt(std::vector<std::uint8_t>& data, std::size_t protect_prefix);
-  std::uint64_t corruptions() const { return corruptions_; }
+  net::FaultInjector* faults() { return faults_.get(); }
+  std::uint64_t corruptions() const { return faults_ ? faults_->corruptions() : 0; }
 
  private:
   sim::Engine& engine_;
@@ -69,9 +74,7 @@ class QsNet {
   std::unique_ptr<net::EthNet> eth_;
   std::vector<std::unique_ptr<Elan4Nic>> nics_;
   SystemCapability capability_;
-  double corruption_prob_ = 0.0;
-  std::unique_ptr<sim::Rng> corruption_rng_;
-  std::uint64_t corruptions_ = 0;
+  std::unique_ptr<net::FaultInjector> faults_;
 };
 
 }  // namespace oqs::elan4

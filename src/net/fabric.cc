@@ -16,15 +16,20 @@ Fabric::Fabric(sim::Engine& engine, const ModelParams& params, int nodes, int ra
 }
 
 void Fabric::transmit(int src, int dst, std::uint32_t bytes,
-                      std::function<void()> deliver, int rail) {
+                      std::function<void()> deliver, int rail, Delivery cls) {
   assert(rail >= 0 && rail < num_rails());
   ++packets_;
 
   if (src == dst) {
     // NIC-internal loopback: no fabric traversal, one hop worth of latency.
+    // Loopback never crosses a link, so it is immune to wire faults.
     engine_.schedule(params_.hop_ns, std::move(deliver));
     return;
   }
+
+  FaultInjector::WireFault fault;
+  if (faults_ != nullptr && cls == Delivery::kLossy) fault = faults_->roll_wire(src, dst);
+  if (fault.drop) return;  // the packet vanishes on the wire
 
   const sim::Time tx =
       params_.link_startup_ns + ModelParams::xfer_ns(bytes, params_.link_mbps);
@@ -36,7 +41,12 @@ void Fabric::transmit(int src, int dst, std::uint32_t bytes,
     head = depart + params_.hop_ns;
   }
   // Tail arrival: head arrival at the destination plus serialization.
-  const sim::Time deliver_at = head + tx;
+  const sim::Time deliver_at = head + tx + fault.delay_ns;
+  if (fault.duplicate) {
+    // Two independent deliveries of the same packet. Copy the closure
+    // before either runs: both copies must own the full payload.
+    engine_.schedule_at(deliver_at + 2 * params_.hop_ns, deliver);
+  }
   engine_.schedule_at(deliver_at, std::move(deliver));
 }
 

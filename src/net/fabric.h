@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "base/params.h"
+#include "net/fault.h"
 #include "net/topology.h"
 #include "sim/engine.h"
 
@@ -27,11 +28,17 @@ class Fabric {
   int num_rails() const { return static_cast<int>(rails_.size()); }
   int hops(int src, int dst, int rail = 0) const { return rails_[rail]->hops(src, dst); }
 
+  // Attach a fault injector (owned by the caller, typically QsNet). Only
+  // Delivery::kLossy packets are subject to wire faults; loopback
+  // (src == dst) never touches the fabric and is always immune.
+  void set_fault_injector(FaultInjector* f) { faults_ = f; }
+  FaultInjector* fault_injector() const { return faults_; }
+
   // Ship `bytes` from src to dst; run `deliver` at the destination when the
   // packet tail arrives. `bytes` here is one wire packet (the NIC fragments
   // to MTU); on-wire overhead per packet is folded into link_startup_ns.
   void transmit(int src, int dst, std::uint32_t bytes, std::function<void()> deliver,
-                int rail = 0);
+                int rail = 0, Delivery cls = Delivery::kGuaranteed);
 
   // Hardware multicast (the Elite switches replicate the packet): the
   // source injects once; every destination's ejection link carries one
@@ -49,6 +56,7 @@ class Fabric {
   std::vector<std::unique_ptr<Topology>> rails_;
   std::vector<Link*> scratch_route_;
   std::uint64_t packets_ = 0;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace oqs::net

@@ -27,6 +27,7 @@ enum class FragKind : std::uint8_t {
   kGoodbye = 7,     // connection teardown handshake
   kData = 8,        // copy-path remainder chunk (TCP PTL)
   kNack = 9,        // reliability: resend frames starting at hdr.cookie
+  kFrameAck = 10,   // reliability: explicit cumulative ack (hdr.ack_seq)
 };
 
 // MatchHeader.flags bits.
@@ -45,7 +46,11 @@ struct MatchHeader {
   FragKind kind = FragKind::kEager;
   std::uint8_t flags = 0;
   std::uint16_t frame_seq = 0;  // per-peer frame sequence (reliability mode)
-  std::uint32_t status = 0;   // carries a Status code on FIN/FIN_ACK
+  std::uint16_t status = 0;     // carries a Status code on FIN/FIN_ACK
+  // Cumulative piggybacked acknowledgement (reliability mode): every frame
+  // to a peer reports the last in-order frame_seq received from it, so the
+  // sender prunes its retransmission log without dedicated ack traffic.
+  std::uint16_t ack_seq = 0;
   std::uint64_t cookie = 0;   // send- or recv-request handle, kind-dependent
   std::uint64_t aux = 0;      // scheme-dependent (e.g. exposed E4 address)
 };

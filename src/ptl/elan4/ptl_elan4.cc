@@ -1,5 +1,6 @@
 #include "ptl/elan4/ptl_elan4.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -86,6 +87,12 @@ Status PtlElan4::add_peer(int gid, const pml::ContactInfo& info) {
   Peer p;
   for (int r = 0; r < kMaxRails; ++r) p.vpid[r] = rte::get_pod<Vpid>(blob, off);
   p.recv_queue = rte::get_pod<std::int32_t>(blob, off);
+  // Sequence spaces start at seq_start (0 in production; tests place it
+  // near 65535 to exercise wraparound without 65k warmup frames).
+  p.tx_seq = opts_.seq_start;
+  p.last_acked = opts_.seq_start;
+  p.rx_expected = static_cast<std::uint16_t>(opts_.seq_start + 1);
+  p.log_base = p.rx_expected;
   peers_[gid] = p;
   return Status::kOk;
 }
@@ -116,6 +123,12 @@ void PtlElan4::charge_crc(std::size_t bytes) {
   devices_[0]->compute(ModelParams::xfer_ns(bytes, net_.params().crc_mbps) + 40);
 }
 
+void PtlElan4::post_wire(Peer& peer, const std::vector<std::uint8_t>& frame,
+                         E4Event* recycle) {
+  devices_[0]->post_qdma(peer.vpid[0], peer.recv_queue, frame, recycle,
+                         /*lossy=*/true);
+}
+
 void PtlElan4::post_frame(Peer& peer, const MatchHeader& hdr, const void* body,
                           std::size_t body_len, const void* payload,
                           std::size_t payload_len) {
@@ -125,6 +138,12 @@ void PtlElan4::post_frame(Peer& peer, const MatchHeader& hdr, const void* body,
   std::vector<std::uint8_t> frame(sizeof(MatchHeader) + body_len + payload_len +
                                   trailer);
   MatchHeader h = hdr;
+  if (opts_.reliability) {
+    // Cumulative ack rides on every frame to this peer, data or control.
+    h.ack_seq = static_cast<std::uint16_t>(peer.rx_expected - 1);
+    peer.last_acked = h.ack_seq;
+    peer.unacked_rx = 0;
+  }
   if (sequenced) {
     h.flags |= pml::kFlagChecksummed;
     h.frame_seq = ++peer.tx_seq;
@@ -137,14 +156,57 @@ void PtlElan4::post_frame(Peer& peer, const MatchHeader& hdr, const void* body,
     const std::uint32_t crc = crc32c(frame.data(), frame.size() - 4);
     std::memcpy(frame.data() + frame.size() - 4, &crc, 4);
     charge_crc(frame.size());
-    // Retain for NACK-driven retransmission; prune a generous window.
-    peer.sent_log.push_back(frame);
-    while (peer.sent_log.size() > 512) {
-      peer.sent_log.pop_front();
-      ++peer.log_base;
+    if (peer.sent_log.size() >= opts_.send_window || !peer.tx_backlog.empty()) {
+      // Window closed: the frame (sequence already assigned) waits its
+      // turn. It is posted in order by drain_backlog when acks open the
+      // window — history is never dropped.
+      peer.tx_backlog.push_back(QueuedFrame{std::move(frame), recycle_event_});
+      OQS_METRIC_INC("ptl.reliability.backlogged");
+      return;
     }
+    peer.sent_log.push_back(frame);
+    if (peer.sent_log.size() == 1) {
+      peer.rtx_deadline = net_.engine().now() + opts_.retransmit_timeout_ns;
+      arm_rtx_timer(peer.rtx_deadline);
+    }
+    post_wire(peer, frame, recycle_event_);
+    return;
   }
-  devices_[0]->post_qdma(peer.vpid[0], peer.recv_queue, frame, recycle_event_);
+  // Control frames bypass sequencing. They are still fault-exposed in
+  // reliability mode (a lost NACK/ack is recovered by the retransmission
+  // timer), except the teardown goodbye, which nothing would resend.
+  const bool lossy = opts_.reliability && hdr.kind != FragKind::kGoodbye;
+  devices_[0]->post_qdma(peer.vpid[0], peer.recv_queue, frame, recycle_event_,
+                         lossy);
+}
+
+void PtlElan4::handle_peer_ack(Peer& peer, std::uint16_t ack_seq) {
+  // Frames newly covered by this cumulative ack (int16 delta is wraparound-
+  // safe for windows below 32768).
+  auto n = static_cast<std::int16_t>(
+      ack_seq - static_cast<std::uint16_t>(peer.log_base - 1));
+  if (n <= 0) return;  // stale or duplicate ack info
+  bool progressed = false;
+  while (n-- > 0 && !peer.sent_log.empty()) {
+    peer.sent_log.pop_front();
+    ++peer.log_base;
+    progressed = true;
+  }
+  if (!progressed) return;
+  OQS_METRIC_INC("ptl.reliability.acks_received");
+  peer.rtx_backoff = 0;
+  peer.rtx_deadline = net_.engine().now() + opts_.retransmit_timeout_ns;
+  drain_backlog(peer);
+}
+
+void PtlElan4::drain_backlog(Peer& peer) {
+  while (!peer.tx_backlog.empty() && peer.sent_log.size() < opts_.send_window) {
+    QueuedFrame qf = std::move(peer.tx_backlog.front());
+    peer.tx_backlog.pop_front();
+    peer.sent_log.push_back(qf.frame);
+    post_wire(peer, qf.frame, qf.recycle);
+  }
+  if (!peer.sent_log.empty()) arm_rtx_timer(peer.rtx_deadline);
 }
 
 bool PtlElan4::admit_frame(Peer& peer, const MatchHeader& hdr,
@@ -157,30 +219,96 @@ bool PtlElan4::admit_frame(Peer& peer, const MatchHeader& hdr,
     OQS_METRIC_INC("ptl.reliability.frames_dropped");
     log::debug(name_, "frame ", hdr.frame_seq, " from gid ", hdr.src_gid,
                " failed CRC; NACKing ", peer.rx_expected);
-    send_nack(hdr.src_gid, peer.rx_expected);
+    send_nack(hdr.src_gid, peer);
     return false;
   }
   const auto delta = static_cast<std::int16_t>(hdr.frame_seq - peer.rx_expected);
   if (delta == 0) {
     ++peer.rx_expected;
+    note_admitted(hdr.src_gid, peer);
     return true;
   }
-  ++frames_dropped_;
-  OQS_METRIC_INC("ptl.reliability.frames_dropped");
-  if (delta > 0) send_nack(hdr.src_gid, peer.rx_expected);  // gap: go back
-  return false;  // duplicate or future frame: drop
+  if (delta > 0) {
+    // Gap: an earlier frame is missing. Ask for a resend (go-back-N).
+    ++frames_dropped_;
+    OQS_METRIC_INC("ptl.reliability.frames_dropped");
+    send_nack(hdr.src_gid, peer);
+    return false;
+  }
+  // Duplicate (retransmission overshoot or a wire-duplicated packet): drop
+  // it, and re-ack so a sender stuck on a lost ack converges. Rate-limited —
+  // a whole retransmitted window must not trigger a re-ack per frame.
+  ++dup_frames_;
+  OQS_METRIC_INC("ptl.reliability.dup_frames");
+  const sim::Time now = net_.engine().now();
+  if (now - peer.last_reack_time >= opts_.nack_holdoff_ns) {
+    peer.last_reack_time = now;
+    send_frame_ack(hdr.src_gid, peer);
+  }
+  return false;
 }
 
-void PtlElan4::send_nack(int gid, std::uint16_t expected) {
-  auto it = peers_.find(gid);
-  if (it == peers_.end() || !it->second.alive) return;
+void PtlElan4::send_nack(int gid, Peer& peer) {
+  const std::uint16_t expected = peer.rx_expected;
+  const sim::Time now = net_.engine().now();
+  // One NACK per loss event: a burst of out-of-order frames behind one hole
+  // would otherwise trigger a quadratic retransmission storm.
+  if (peer.last_nack_seq == expected &&
+      now - peer.last_nack_time < opts_.nack_holdoff_ns)
+    return;
+  peer.last_nack_seq = expected;
+  peer.last_nack_time = now;
   MatchHeader nack;
   nack.kind = FragKind::kNack;
   nack.flags = pml::kFlagControl;
   nack.cookie = expected;
   nack.src_gid = pml_.ctx().gid;
   nack.dst_gid = gid;
-  post_frame(it->second, nack, nullptr, 0, nullptr, 0);
+  OQS_METRIC_INC("ptl.reliability.nacks_sent");
+  post_frame(peer, nack, nullptr, 0, nullptr, 0);
+}
+
+void PtlElan4::send_frame_ack(int gid, Peer& peer) {
+  MatchHeader ack;
+  ack.kind = FragKind::kFrameAck;
+  ack.flags = pml::kFlagControl;
+  ack.src_gid = pml_.ctx().gid;
+  ack.dst_gid = gid;
+  ++acks_sent_;
+  OQS_METRIC_INC("ptl.reliability.acks_sent");
+  post_frame(peer, ack, nullptr, 0, nullptr, 0);  // ack_seq set by post_frame
+}
+
+void PtlElan4::note_admitted(int gid, Peer& peer) {
+  if (++peer.unacked_rx >= opts_.ack_every)
+    send_frame_ack(gid, peer);  // cadence ack now
+  else
+    arm_ack_timer();  // trailing frames get acked by the delay timer
+}
+
+void PtlElan4::flush_acks() {
+  for (auto& [gid, peer] : peers_) {
+    if (!peer.alive) continue;
+    if (peer.unacked_rx > 0 ||
+        peer.last_acked != static_cast<std::uint16_t>(peer.rx_expected - 1))
+      send_frame_ack(gid, peer);
+  }
+}
+
+void PtlElan4::retransmit_from(Peer& peer, std::size_t offset,
+                               std::size_t max_frames) {
+  const std::size_t end =
+      std::min(peer.sent_log.size(), offset + max_frames);
+  for (std::size_t i = offset; i < end; ++i) {
+    ++retransmissions_;
+    OQS_METRIC_INC("ptl.reliability.retransmissions");
+    OQS_TRACE_INSTANT(node_, "ptl", "reliability.retransmit", "seq",
+                      static_cast<std::uint16_t>(peer.log_base + i));
+    // Retransmissions are not free: the wire CRC is recomputed/verified by
+    // the NIC path exactly like a first transmission.
+    charge_crc(peer.sent_log[i].size());
+    post_wire(peer, peer.sent_log[i], nullptr);
+  }
 }
 
 void PtlElan4::handle_nack(const MatchHeader& hdr) {
@@ -189,17 +317,99 @@ void PtlElan4::handle_nack(const MatchHeader& hdr) {
   Peer& peer = it->second;
   const auto from = static_cast<std::uint16_t>(hdr.cookie);
   const auto offset = static_cast<std::int16_t>(from - peer.log_base);
-  if (offset < 0 || static_cast<std::size_t>(offset) >= peer.sent_log.size()) {
-    log::warn(name_, "NACK for pruned frame ", from, " from gid ", hdr.src_gid);
+  if (offset < 0) return;  // stale NACK: those frames were acked since
+  if (static_cast<std::size_t>(offset) >= peer.sent_log.size()) {
+    // The receiver asked past everything outstanding — every unacked frame
+    // has already been resent or the NACK raced an ack. With ack-driven
+    // pruning an unacked frame can never have left sent_log, so there is
+    // nothing to recover here (the old size-based pruning made this a
+    // permanent stall).
     return;
   }
-  for (std::size_t i = static_cast<std::size_t>(offset); i < peer.sent_log.size();
-       ++i) {
-    ++retransmissions_;
-    OQS_METRIC_INC("ptl.reliability.retransmissions");
-    OQS_TRACE_INSTANT(node_, "ptl", "reliability.retransmit", "seq",
-                      peer.log_base + i);
-    devices_[0]->post_qdma(peer.vpid[0], peer.recv_queue, peer.sent_log[i]);
+  retransmit_from(peer, static_cast<std::size_t>(offset),
+                  peer.sent_log.size());
+  if (peer.rtx_backoff < opts_.max_retransmit_backoff) ++peer.rtx_backoff;
+  peer.rtx_deadline = net_.engine().now() +
+                      (opts_.retransmit_timeout_ns << peer.rtx_backoff);
+  arm_rtx_timer(peer.rtx_deadline);
+}
+
+// ------------------------------------------------------- retry timers ----
+
+void PtlElan4::arm_rtx_timer(sim::Time deadline) {
+  if (rtx_timer_armed_) return;
+  rtx_timer_armed_ = true;
+  sim::Engine& engine = net_.engine();
+  const sim::Time now = engine.now();
+  const sim::Time delay = deadline > now ? deadline - now : 1;
+  engine.schedule(delay, [this, token = alive_] {
+    if (!*token) return;
+    // Timer events are plain callbacks; posting frames charges host CPU,
+    // which requires a fiber — so the work runs in a short-lived one.
+    net_.engine().spawn("elan4-rtx", [this, token] {
+      if (!*token) return;
+      rtx_fire();
+    });
+  });
+}
+
+void PtlElan4::rtx_fire() {
+  rtx_timer_armed_ = false;
+  const sim::Time now = net_.engine().now();
+  sim::Time next = 0;
+  for (auto& [gid, peer] : peers_) {
+    if (!peer.alive || peer.sent_log.empty()) continue;
+    if (now >= peer.rtx_deadline) {
+      // No ack progress for a full timeout: the window front (or the ack
+      // for it) is lost. Go back and resend a prefix; the receiver's
+      // cumulative ack recovers the rest.
+      ++rtx_timeouts_;
+      OQS_METRIC_INC("ptl.reliability.rtx_timeouts");
+      retransmit_from(peer, 0, 64);
+      if (peer.rtx_backoff < opts_.max_retransmit_backoff) ++peer.rtx_backoff;
+      peer.rtx_deadline =
+          now + (opts_.retransmit_timeout_ns << peer.rtx_backoff);
+    }
+    if (next == 0 || peer.rtx_deadline < next) next = peer.rtx_deadline;
+  }
+  if (next != 0) arm_rtx_timer(next);
+}
+
+void PtlElan4::arm_ack_timer() {
+  if (ack_timer_armed_) return;
+  ack_timer_armed_ = true;
+  net_.engine().schedule(opts_.ack_delay_ns, [this, token = alive_] {
+    if (!*token) return;
+    net_.engine().spawn("elan4-ack", [this, token] {
+      if (!*token) return;
+      ack_fire();
+    });
+  });
+}
+
+void PtlElan4::ack_fire() {
+  ack_timer_armed_ = false;
+  for (auto& [gid, peer] : peers_) {
+    if (!peer.alive || peer.unacked_rx == 0) continue;
+    send_frame_ack(gid, peer);
+  }
+}
+
+PtlElan4::Peer* PtlElan4::wait_for_window(int gid) {
+  // Application-fiber backpressure: block until the peer's window has room
+  // for one more sequenced frame. Progress must keep running while blocked
+  // or the acks that open the window are never processed.
+  sim::Engine& engine = net_.engine();
+  const ModelParams& p = net_.params();
+  while (true) {
+    auto it = peers_.find(gid);
+    if (it == peers_.end() || !it->second.alive) return nullptr;
+    if (!opts_.reliability || it->second.window_in_use() < opts_.send_window)
+      return &it->second;
+    if (threaded())
+      engine.sleep(p.host_poll_ns * 10);
+    else if (progress() == 0)
+      engine.sleep(p.host_poll_ns);
   }
 }
 
@@ -228,13 +438,16 @@ void PtlElan4::arm_completion(E4Event* ev, std::uint64_t id) {
 // --------------------------------------------------------- send path ----
 
 void PtlElan4::send_first(pml::SendRequest& req, std::size_t inline_len) {
-  auto pit = peers_.find(req.dst_gid);
-  if (pit == peers_.end() || !pit->second.alive) {
+  // send_first runs on the application fiber, the one place the protocol
+  // may block: a full send window backpressures the sender here instead of
+  // dropping retransmission history.
+  Peer* pp = wait_for_window(req.dst_gid);
+  if (pp == nullptr) {
     req.fail(Status::kUnreachable);
     return;
   }
   OQS_TRACE_SPAN(span_, node_, "ptl", "send_first", "len", req.total_bytes());
-  Peer& peer = pit->second;
+  Peer& peer = *pp;
   const ModelParams& p = net_.params();
   const std::size_t total = req.total_bytes();
   if (opts_.use_dtype_engine) devices_[0]->compute(p.dtype_engine_startup_ns);
@@ -410,7 +623,7 @@ void PtlElan4::handle_fin_ack(const MatchHeader& hdr) {
     log::warn(name_, "FIN_ACK for unknown send cookie ", hdr.cookie);
     return;
   }
-  if (hdr.status != static_cast<std::uint32_t>(Status::kOk)) {
+  if (hdr.status != static_cast<std::uint16_t>(Status::kOk)) {
     // Receiver could not recover the payload; fail the send accordingly.
     PendingSend& op = it->second;
     for (int r = 0; r < opts_.rails; ++r)
@@ -557,7 +770,7 @@ void PtlElan4::complete_recv(std::uint64_t id, PendingRecv& op) {
       MatchHeader fa;
       fa.kind = FragKind::kFinAck;
       fa.cookie = op.send_cookie;
-      fa.status = static_cast<std::uint32_t>(final_st);
+      fa.status = static_cast<std::uint16_t>(final_st);
       fa.src_gid = pml_.ctx().gid;
       fa.dst_gid = op.gid;
       post_frame(pit->second, fa, nullptr, 0, nullptr, 0);
@@ -618,16 +831,22 @@ void PtlElan4::handle_frame(elan4::QdmaQueue::Slot&& slot) {
                  static_cast<std::uint64_t>(hdr.kind));
   OQS_METRIC_INC("ptl.frames.handled");
 
-  // Reliability gate: verify the trailer and enforce per-sender ordering
-  // before anything is acted on. Self-addressed control frames (chained
-  // completions) never take this path.
-  if (opts_.reliability && (hdr.flags & pml::kFlagControl) == 0 &&
-      hdr.src_gid != pml_.ctx().gid) {
+  // Reliability gate. Self-addressed control frames (chained completions)
+  // never take this path. For peer frames: first harvest the piggybacked
+  // cumulative ack — valid even on duplicates and out-of-order frames
+  // (headers are never corrupted in flight; only payload bytes beyond the
+  // protected prefix are) — then verify the trailer and enforce per-sender
+  // ordering before anything is acted on.
+  if (opts_.reliability && hdr.src_gid != pml_.ctx().gid) {
     auto pit = peers_.find(hdr.src_gid);
-    if (pit == peers_.end()) return;
-    if (!admit_frame(pit->second, hdr, slot.data)) return;
-    // Strip the CRC trailer before normal parsing.
-    slot.data.resize(slot.data.size() - 4);
+    if (pit != peers_.end() && pit->second.alive)
+      handle_peer_ack(pit->second, hdr.ack_seq);
+    if ((hdr.flags & pml::kFlagControl) == 0) {
+      if (pit == peers_.end()) return;
+      if (!admit_frame(pit->second, hdr, slot.data)) return;
+      // Strip the CRC trailer before normal parsing.
+      slot.data.resize(slot.data.size() - 4);
+    }
   }
 
   switch (hdr.kind) {
@@ -676,6 +895,9 @@ void PtlElan4::handle_frame(elan4::QdmaQueue::Slot&& slot) {
     case FragKind::kNack:
       handle_nack(hdr);
       break;
+    case FragKind::kFrameAck:
+      break;  // pure ack carrier: fully consumed by the gate above
+
     case FragKind::kGoodbye:
       if (hdr.src_gid != pml_.ctx().gid) {
         auto it = peers_.find(hdr.src_gid);
@@ -793,6 +1015,25 @@ void PtlElan4::finalize() {
       if (progress() == 0) engine.sleep(net_.params().host_poll_ns);
   }
 
+  if (opts_.reliability) {
+    // Acknowledge everything received so peers can prune and leave too,
+    // then wait for our own outstanding frames to be acknowledged (the
+    // retransmission timer keeps recovering losses meanwhile). Without
+    // this, a dropped final FIN_ACK would strand the other side forever.
+    flush_acks();
+    auto outstanding = [this] {
+      for (auto& [gid, peer] : peers_)
+        if (peer.alive && peer.window_in_use() > 0) return true;
+      return false;
+    };
+    while (outstanding() || !sends_.empty() || !recvs_.empty()) {
+      if (threaded())
+        engine.sleep(net_.params().host_poll_ns * 10);
+      else
+        if (progress() == 0) engine.sleep(net_.params().host_poll_ns);
+    }
+  }
+
   // Tell peers we are leaving so they stop addressing our context.
   for (auto& [gid, peer] : peers_) {
     if (!peer.alive) continue;
@@ -812,6 +1053,9 @@ void PtlElan4::finalize() {
 
   // Let in-flight goodbyes drain before the contexts disappear.
   engine.sleep(5 * net_.params().interrupt_ns);
+  // Disarm the reliability timers: any already-scheduled callback sees the
+  // cleared token and no-ops instead of touching a closed device.
+  *alive_ = false;
   for (auto& dev : devices_) dev->close();
 }
 

@@ -78,17 +78,50 @@ class PtlElan4 final : public pml::Ptl {
   std::uint64_t frames_dropped() const { return frames_dropped_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
   std::uint64_t data_retries() const { return data_retries_; }
+  std::uint64_t dup_frames() const { return dup_frames_; }
+  std::uint64_t rtx_timeouts() const { return rtx_timeouts_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  // Unacked + backlogged sequenced frames toward gid (bounded-memory tests).
+  std::size_t outstanding_frames(int gid) const {
+    auto it = peers_.find(gid);
+    return it == peers_.end() ? 0 : it->second.window_in_use();
+  }
 
  private:
+  // A built-but-unposted sequenced frame (window closed at build time).
+  struct QueuedFrame {
+    std::vector<std::uint8_t> frame;
+    elan4::E4Event* recycle = nullptr;
+  };
+
   struct Peer {
     elan4::Vpid vpid[kMaxRails];
     int recv_queue = -1;
     bool alive = true;
-    // Reliability state (go-back-N over the frame stream).
-    std::uint16_t tx_seq = 0;       // last frame sequence sent
-    std::uint16_t rx_expected = 1;  // next frame sequence accepted
+    // --- Reliability state (ack-clocked go-back-N over the frame stream).
+    // Sender side: sent_log holds every posted-but-unacknowledged frame,
+    // contiguous sequences [log_base, log_base + sent_log.size()); frames
+    // built while the window is full wait in tx_backlog with their
+    // sequences already assigned, so wire order always matches sequence
+    // order. Pruning happens only on acknowledgement — never by size.
+    std::uint16_t tx_seq = 0;       // last frame sequence assigned
     std::uint16_t log_base = 1;     // sequence of sent_log.front()
     std::deque<std::vector<std::uint8_t>> sent_log;
+    std::deque<QueuedFrame> tx_backlog;
+    int rtx_backoff = 0;            // consecutive unproductive timeouts
+    sim::Time rtx_deadline = 0;     // retransmit if no ack progress by then
+    // Receiver side: cumulative-ack bookkeeping.
+    std::uint16_t rx_expected = 1;  // next frame sequence accepted
+    std::uint16_t last_acked = 0;   // last rx sequence acknowledged back
+    int unacked_rx = 0;             // admitted frames since the last ack
+    // Rate limiting (one recovery round per loss event, not a storm).
+    std::uint16_t last_nack_seq = 0;
+    sim::Time last_nack_time = 0;
+    sim::Time last_reack_time = 0;
+
+    std::size_t window_in_use() const {
+      return sent_log.size() + tx_backlog.size();
+    }
   };
 
   // Long-message sender state.
@@ -140,8 +173,30 @@ class PtlElan4 final : public pml::Ptl {
   // Verify the trailer and enforce per-peer ordering; false = drop frame.
   bool admit_frame(Peer& peer, const pml::MatchHeader& hdr,
                    const std::vector<std::uint8_t>& frame);
-  void send_nack(int gid, std::uint16_t expected);
+  void send_nack(int gid, Peer& peer);
   void handle_nack(const pml::MatchHeader& hdr);
+  // Put one already-sequenced frame on the wire (lossy-classed QDMA).
+  void post_wire(Peer& peer, const std::vector<std::uint8_t>& frame,
+                 elan4::E4Event* recycle);
+  // Cumulative-ack intake: prune sent_log through `ack_seq`, then post
+  // backlogged frames into the opened window.
+  void handle_peer_ack(Peer& peer, std::uint16_t ack_seq);
+  void drain_backlog(Peer& peer);
+  // Resend sent_log[offset..], up to `max_frames`, charging CRC like first
+  // transmissions.
+  void retransmit_from(Peer& peer, std::size_t offset, std::size_t max_frames);
+  // Receiver-side ack generation: explicit kFrameAck control frame now, or
+  // count/arm toward one (ack_every / ack_delay_ns).
+  void send_frame_ack(int gid, Peer& peer);
+  void note_admitted(int gid, Peer& peer);
+  void flush_acks();
+  // One-shot scan timers (token-guarded; re-armed only while state exists).
+  void arm_rtx_timer(sim::Time deadline);
+  void arm_ack_timer();
+  void rtx_fire();
+  void ack_fire();
+  // Block the calling (application) fiber until gid's window has room.
+  Peer* wait_for_window(int gid);
   // Issue (or re-issue) the RDMA reads for a pending receive.
   void issue_reads(std::uint64_t id, PendingRecv& op);
   void handle_frame(elan4::QdmaQueue::Slot&& slot);
@@ -180,11 +235,20 @@ class PtlElan4 final : public pml::Ptl {
   // Local event attached to the next post_frame (send-buffer recycling).
   elan4::E4Event* recycle_event_ = nullptr;
   std::uint64_t frames_dropped_ = 0;   // bad CRC or out-of-sequence
-  std::uint64_t retransmissions_ = 0;  // frames resent after a NACK
+  std::uint64_t retransmissions_ = 0;  // frames resent (NACK or timeout)
   std::uint64_t data_retries_ = 0;     // rendezvous payload re-reads
+  std::uint64_t dup_frames_ = 0;       // duplicates suppressed
+  std::uint64_t rtx_timeouts_ = 0;     // retransmission-timer expiries
+  std::uint64_t acks_sent_ = 0;        // explicit kFrameAck frames
   bool stopping_ = false;
   bool finalized_ = false;
   int live_threads_ = 0;
+  // Timer state: one scan timer each for retransmission and delayed acks.
+  // Callbacks capture alive_ and no-op once it is cleared (finalize), so a
+  // timer can never touch a dead module.
+  bool rtx_timer_armed_ = false;
+  bool ack_timer_armed_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   // Reserved completion cookie: send-buffer recycling, no pending op.
   static constexpr std::uint64_t kRecycleCookie = 0;

@@ -27,10 +27,20 @@ bool Tport::try_match(PostedRecv& pr, Vpid src, std::uint64_t tag) const {
   return (tag & pr.mask) == (pr.tag & pr.mask);
 }
 
+void Tport::reap(const void* keep) {
+  std::erase_if(tx_reqs_, [keep](const std::unique_ptr<TxReq>& t) {
+    return t.get() != keep && t->done && t->harvested;
+  });
+  std::erase_if(rx_reqs_, [keep](const std::unique_ptr<RxReq>& r) {
+    return r.get() != keep && r->done && r->harvested;
+  });
+}
+
 Tport::TxReq* Tport::send(Vpid dst, std::uint64_t tag, const void* buf,
                           std::size_t len) {
   elan4::QsNet& net = domain_.net_;
   const ModelParams& p = net.params();
+  reap(nullptr);
   OQS_TRACE_SPAN(span_, node_, "tport", "send", "len", len);
   OQS_METRIC_INC("tport.tx_msgs");
   OQS_METRIC_ADD("tport.tx_bytes", len);
@@ -41,7 +51,8 @@ Tport::TxReq* Tport::send(Vpid dst, std::uint64_t tag, const void* buf,
 
   if (!net.capability().is_live(dst)) {
     log::warn("tport", "send to dead vpid ", dst);
-    tx->done = true;  // hardware would complete with an error
+    tx->failed = true;  // hardware completes the descriptor with an error
+    tx->done = true;
     return tx;
   }
   Tport* peer = nullptr;
@@ -49,6 +60,7 @@ Tport::TxReq* Tport::send(Vpid dst, std::uint64_t tag, const void* buf,
     peer = it->second;
   if (peer == nullptr) {
     log::warn("tport", "no Tport registered for vpid ", dst);
+    tx->failed = true;
     tx->done = true;
     return tx;
   }
@@ -116,6 +128,7 @@ Tport::TxReq* Tport::send(Vpid dst, std::uint64_t tag, const void* buf,
 Tport::RxReq* Tport::recv(Vpid src, std::uint64_t tag, std::uint64_t tag_mask,
                           void* buf, std::size_t capacity) {
   const ModelParams& p = domain_.net_.params();
+  reap(nullptr);
   OQS_TRACE_SPAN(span_, node_, "tport", "recv_post", "cap", capacity);
   OQS_METRIC_INC("tport.rx_posted");
   device_->compute(p.tport_cmd_ns);
@@ -265,11 +278,15 @@ void Tport::finish_inbound(Inbound& in) {
 }
 
 void Tport::wait(TxReq* r) {
+  reap(r);
   while (!r->done) device_->charge_poll();
+  r->harvested = true;
 }
 
 void Tport::wait(RxReq* r) {
+  reap(r);
   while (!r->done) device_->charge_poll();
+  r->harvested = true;
 }
 
 }  // namespace oqs::tport

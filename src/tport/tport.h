@@ -48,6 +48,13 @@ class Tport {
   // Host-visible completion state of a transmit.
   struct TxReq {
     bool done = false;
+    // Set with done when the send could not be delivered (dead or
+    // unregistered destination) — callers can distinguish failure from
+    // success instead of both looking like completion.
+    bool failed = false;
+    // The caller has observed completion (wait() returned); the request
+    // may be reclaimed at the next Tport call.
+    bool harvested = false;
   };
   // Host-visible completion state of a posted receive.
   struct RxReq {
@@ -56,6 +63,7 @@ class Tport {
     elan4::Vpid src = elan4::kInvalidVpid;
     std::uint64_t tag = 0;
     bool truncated = false;
+    bool harvested = false;
   };
 
   // Claims an Elan context on `node` and registers in the domain.
@@ -82,6 +90,10 @@ class Tport {
   void wait(RxReq* r);
 
   std::size_t unexpected_bytes() const { return unexpected_bytes_; }
+  // Live request-table sizes (bounded-memory tests): completed requests are
+  // reclaimed lazily once their completion has been observed by wait().
+  std::size_t outstanding_tx() const { return tx_reqs_.size(); }
+  std::size_t outstanding_rx() const { return rx_reqs_.size(); }
 
  private:
   struct PostedRecv {
@@ -114,6 +126,12 @@ class Tport {
     TxReq* tx_done = nullptr;  // sender's flag, set on final fragment
     int src_node = -1;
   };
+
+  // Free completed requests whose completion the caller has already
+  // observed. Runs at API entry only — never mid-wait — so fields of a
+  // request remain readable after wait() returns until the caller's next
+  // Tport call. `keep` (the request being waited on) is never reclaimed.
+  void reap(const void* keep);
 
   void rx_fragment(std::uint64_t msg_id, elan4::Vpid src, int src_node,
                    std::uint64_t tag, std::size_t total, std::uint64_t offset,

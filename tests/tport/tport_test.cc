@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "elan4/qsnet.h"
@@ -159,6 +160,86 @@ TEST_F(TportFixture, ManyMessagesKeepOrderPerPair) {
     }
   });
   engine.run();
+}
+
+TEST_F(TportFixture, SendToDeadOrUnregisteredVpidFails) {
+  Tport a(*domain, 0);
+  elan4::Vpid dead;
+  {
+    Tport tmp(*domain, 1);
+    dead = tmp.vpid();
+  }  // tmp's Elan context is released: the vpid is no longer live
+  auto raw = net->open(2);  // live context with no Tport behind it
+  const elan4::Vpid unregistered = raw->vpid();
+  engine.spawn("a", [&] {
+    std::uint32_t v = 7;
+    Tport::TxReq* t1 = a.send(dead, 1, &v, 4);
+    EXPECT_TRUE(t1->done);
+    EXPECT_TRUE(t1->failed);
+    Tport::TxReq* t2 = a.send(unregistered, 1, &v, 4);
+    EXPECT_TRUE(t2->done);
+    EXPECT_TRUE(t2->failed);
+    // wait() on a failed request returns immediately; failure stays visible.
+    a.wait(t1);
+    a.wait(t2);
+    EXPECT_TRUE(t1->failed);
+    EXPECT_TRUE(t2->failed);
+  });
+  engine.run();
+}
+
+TEST_F(TportFixture, SuccessfulSendIsNotFlaggedFailed) {
+  Tport a(*domain, 0);
+  Tport b(*domain, 1);
+  std::uint32_t x = 11;
+  engine.spawn("b", [&] {
+    std::uint32_t v = 0;
+    Tport::RxReq* r = b.recv(a.vpid(), 2, ~0ull, &v, 4);
+    b.wait(r);
+    EXPECT_EQ(v, 11u);
+  });
+  engine.spawn("a", [&] {
+    Tport::TxReq* t = a.send(b.vpid(), 2, &x, 4);
+    a.wait(t);
+    EXPECT_TRUE(t->done);
+    EXPECT_FALSE(t->failed);
+  });
+  engine.run();
+}
+
+TEST_F(TportFixture, RequestTablesStayBoundedOverLongRuns) {
+  Tport a(*domain, 0);
+  Tport b(*domain, 1);
+  constexpr std::uint32_t kMsgs = 400;
+  static std::uint32_t values[kMsgs];
+  std::size_t max_tx = 0;
+  std::size_t max_rx = 0;
+  engine.spawn("a", [&] {
+    for (std::uint32_t i = 0; i < kMsgs; ++i) {
+      values[i] = i;
+      Tport::TxReq* t = a.send(b.vpid(), 1, &values[i], 4);
+      a.wait(t);
+      EXPECT_TRUE(t->done);  // fields stay readable after wait()
+      max_tx = std::max(max_tx, a.outstanding_tx());
+    }
+  });
+  engine.spawn("b", [&] {
+    for (std::uint32_t i = 0; i < kMsgs; ++i) {
+      std::uint32_t v = 999;
+      Tport::RxReq* r = b.recv(a.vpid(), 1, ~0ull, &v, 4);
+      b.wait(r);
+      EXPECT_EQ(v, i);
+      max_rx = std::max(max_rx, b.outstanding_rx());
+    }
+  });
+  engine.run();
+  // Completed requests are reaped once observed: the tables never grow with
+  // the message count (the old behaviour kept every request for the life of
+  // the Tport).
+  EXPECT_LE(max_tx, 2u);
+  EXPECT_LE(max_rx, 2u);
+  EXPECT_LE(a.outstanding_tx(), 1u);
+  EXPECT_LE(b.outstanding_rx(), 1u);
 }
 
 }  // namespace
