@@ -5,6 +5,14 @@
 // noticeably worse in the middle range, where the per-message rendezvous
 // handshake is not amortized while Tport pipelines the whole message in the
 // NIC; both saturate near the PCI-X rate at 1MB.
+//
+// Extensions beyond the figure:
+//   --rails N    multirail sweep — 1 rail vs N rails (BML striping), plus a
+//                per-rail byte/retransmit breakdown at the largest size
+//   --ptl tcp    run the Open MPI columns over the TCP PTL instead
+#include <cstdlib>
+#include <cstring>
+
 #include "common.h"
 
 int main(int argc, char** argv) {
@@ -12,23 +20,76 @@ int main(int argc, char** argv) {
   using namespace oqs;
   using namespace oqs::bench;
 
+  int rails = 1;
+  std::string ptl = "elan4";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rails") == 0 && i + 1 < argc)
+      rails = std::atoi(argv[++i]);
+    else if (std::strncmp(argv[i], "--rails=", 8) == 0)
+      rails = std::atoi(argv[i] + 8);
+    else if (std::strcmp(argv[i], "--ptl") == 0 && i + 1 < argc)
+      ptl = argv[++i];
+    else if (std::strncmp(argv[i], "--ptl=", 6) == 0)
+      ptl = argv[i] + 6;
+  }
+  if (rails < 1) rails = 1;
+
   mpi::Options read_o;
   read_o.elan4.scheme = ptl_elan4::Scheme::kRdmaRead;
   mpi::Options write_o;
   write_o.elan4.scheme = ptl_elan4::Scheme::kRdmaWrite;
+  if (ptl == "tcp") {
+    read_o.use_elan4 = write_o.use_elan4 = false;
+    read_o.use_tcp = write_o.use_tcp = true;
+  }
 
   const std::vector<std::size_t> small = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
   const std::vector<std::size_t> large = {2048, 4096, 8192, 16384, 32768, 65536,
                                           131072, 262144, 524288, 1048576};
 
+  if (rails > 1) {
+    // Multirail sweep: the striping threshold (32KB by default) splits the
+    // table — below it the BML routes whole messages to one rail, at and
+    // above it rendezvous payloads stripe across every live rail.
+    mpi::Options multi = read_o;
+    multi.elan4.rails = rails;
+    const std::string col = std::to_string(rails) + "-rail";
+    print_header("Multirail bandwidth (MB/s), RDMA-read scheme",
+                 {"1-rail", col, "speedup"});
+    for (std::size_t s : large) {
+      const int count = s >= 262144 ? 16 : 48;
+      const double one = ompi_stream_mbps(s, read_o, {}, count, 1);
+      const double many = ompi_stream_mbps(s, multi, {}, count, rails);
+      print_row(s, {one, many, many / one});
+    }
+
+    std::vector<RailStat> stats;
+    const std::size_t probe = 1048576;
+    ompi_stream_mbps(probe, multi, {}, 16, rails, &stats);
+    std::printf("\nPer-rail breakdown at %s (receiver side — the puller moves "
+                "the stripes):\n", size_label(probe).c_str());
+    std::printf("%-10s %14s %14s\n", "rail", "tx_bytes", "retransmits");
+    for (const RailStat& r : stats)
+      std::printf("%-10s %14llu %14llu\n", r.name.c_str(),
+                  static_cast<unsigned long long>(r.tx_bytes),
+                  static_cast<unsigned long long>(r.retransmissions));
+    std::printf(
+        "\nExpected: ~parity below the striping threshold; approaching %dx "
+        "at 1MB (each rail is an independent NIC + link).\n", rails);
+    return 0;
+  }
+
+  const bool tcp = ptl == "tcp";
   print_header("Fig. 10c — small message bandwidth (MB/s)",
-               {"MPICH-QsNetII", "PTL-RDMA-Read", "PTL-RDMA-Write"});
+               {"MPICH-QsNetII", tcp ? "PTL-TCP" : "PTL-RDMA-Read",
+                tcp ? "PTL-TCP" : "PTL-RDMA-Write"});
   for (std::size_t s : small)
     print_row(s, {mpich_stream_mbps(s), ompi_stream_mbps(s, read_o),
                   ompi_stream_mbps(s, write_o)});
 
   print_header("Fig. 10d — large message bandwidth (MB/s)",
-               {"MPICH-QsNetII", "PTL-RDMA-Read", "PTL-RDMA-Write"});
+               {"MPICH-QsNetII", tcp ? "PTL-TCP" : "PTL-RDMA-Read",
+                tcp ? "PTL-TCP" : "PTL-RDMA-Write"});
   for (std::size_t s : large) {
     const int count = s >= 262144 ? 16 : 48;
     print_row(s, {mpich_stream_mbps(s, {}, count),

@@ -5,6 +5,15 @@
 // Expected shape: MPICH-QsNetII slightly lower for small messages (32-byte
 // Tport header + NIC tag matching vs the 64-byte PML header + host
 // matching); comparable for large messages.
+//
+// Extensions beyond the figure:
+//   --rails N    multirail latency sweep — 1 rail vs N rails; eager traffic
+//                rides the lowest-latency rail, so small messages should not
+//                regress, while striped large messages should improve
+//   --ptl tcp    run the Open MPI columns over the TCP PTL instead
+#include <cstdlib>
+#include <cstring>
+
 #include "common.h"
 
 int main(int argc, char** argv) {
@@ -12,23 +21,61 @@ int main(int argc, char** argv) {
   using namespace oqs;
   using namespace oqs::bench;
 
+  int rails = 1;
+  std::string ptl = "elan4";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rails") == 0 && i + 1 < argc)
+      rails = std::atoi(argv[++i]);
+    else if (std::strncmp(argv[i], "--rails=", 8) == 0)
+      rails = std::atoi(argv[i] + 8);
+    else if (std::strcmp(argv[i], "--ptl") == 0 && i + 1 < argc)
+      ptl = argv[++i];
+    else if (std::strncmp(argv[i], "--ptl=", 6) == 0)
+      ptl = argv[i] + 6;
+  }
+  if (rails < 1) rails = 1;
+
   mpi::Options read_o;
   read_o.elan4.scheme = ptl_elan4::Scheme::kRdmaRead;
   mpi::Options write_o;
   write_o.elan4.scheme = ptl_elan4::Scheme::kRdmaWrite;
+  if (ptl == "tcp") {
+    read_o.use_elan4 = write_o.use_elan4 = false;
+    read_o.use_tcp = write_o.use_tcp = true;
+  }
 
   const std::vector<std::size_t> small = {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
   const std::vector<std::size_t> large = {2048, 4096, 8192, 16384, 32768, 65536,
                                           131072, 262144, 524288, 1048576};
 
+  if (rails > 1) {
+    mpi::Options multi = read_o;
+    multi.elan4.rails = rails;
+    const std::string col = std::to_string(rails) + "-rail";
+    print_header("Multirail latency (us), RDMA-read scheme", {"1-rail", col});
+    for (std::size_t s : large) {
+      const int iters = s >= 262144 ? 40 : 120;
+      print_row(s, {ompi_pingpong_us(s, read_o, {}, iters, 1),
+                    ompi_pingpong_us(s, multi, {}, iters, rails)});
+    }
+    std::printf(
+        "\nExpected: below the striping threshold (32KB) the columns match "
+        "(eager and small rendezvous ride the best rail); above it striping "
+        "cuts the wire-time term toward 1/%d.\n", rails);
+    return 0;
+  }
+
+  const bool tcp = ptl == "tcp";
   print_header("Fig. 10a — small message latency (us)",
-               {"MPICH-QsNetII", "PTL-RDMA-Read", "PTL-RDMA-Write"});
+               {"MPICH-QsNetII", tcp ? "PTL-TCP" : "PTL-RDMA-Read",
+                tcp ? "PTL-TCP" : "PTL-RDMA-Write"});
   for (std::size_t s : small)
     print_row(s, {mpich_pingpong_us(s), ompi_pingpong_us(s, read_o),
                   ompi_pingpong_us(s, write_o)});
 
   print_header("Fig. 10b — large message latency (us)",
-               {"MPICH-QsNetII", "PTL-RDMA-Read", "PTL-RDMA-Write"});
+               {"MPICH-QsNetII", tcp ? "PTL-TCP" : "PTL-RDMA-Read",
+                tcp ? "PTL-TCP" : "PTL-RDMA-Write"});
   for (std::size_t s : large) {
     const int iters = s >= 262144 ? 40 : 120;
     print_row(s, {mpich_pingpong_us(s, {}, iters),

@@ -159,13 +159,24 @@ inline double ompi_bandwidth_mbps(std::size_t bytes, mpi::Options opts,
   return mbps;
 }
 
+// Per-rail accounting snapshot for the multirail breakdown tables.
+struct RailStat {
+  std::string name;
+  std::uint64_t tx_bytes = 0;         // bytes this rail put on the wire
+  std::uint64_t retransmissions = 0;  // go-back-N retransmits (reliability)
+};
+
 // Streaming bandwidth with blocking sends (the classic stream test: send
 // back-to-back, each completing before the next posts; one final token).
 // This is the methodology that exposes the rendezvous handshake in the
-// mid-range (Fig. 10c/d).
+// mid-range (Fig. 10c/d). With rails > 1 the BML stripes the rendezvous
+// payloads; rail_stats (receiver side — the puller moves the bytes) gets
+// one entry per rail when non-null.
 inline double ompi_stream_mbps(std::size_t bytes, mpi::Options opts,
-                               ModelParams params = {}, int count = 48) {
-  Bed bed(8, 1, params);
+                               ModelParams params = {}, int count = 48,
+                               int rails = 1,
+                               std::vector<RailStat>* rail_stats = nullptr) {
+  Bed bed(8, rails, params);
   double mbps = 0;
   auto body = [&](mpi::World& w) {
     auto& c = w.comm();
@@ -189,6 +200,12 @@ inline double ompi_stream_mbps(std::size_t bytes, mpi::Options opts,
     burst(count);
     if (c.rank() == 0)
       mbps = static_cast<double>(bytes) * count / sim::to_us(bed.engine.now() - t0);
+    if (c.rank() == 1 && rail_stats != nullptr) {
+      for (int r = 0; w.elan4_rail_ptl(r) != nullptr; ++r) {
+        ptl_elan4::PtlElan4* p = w.elan4_rail_ptl(r);
+        rail_stats->push_back({p->name(), p->tx_bytes(), p->retransmissions()});
+      }
+    }
     c.barrier();
   };
   auto shared = std::make_shared<decltype(body)>(std::move(body));

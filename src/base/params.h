@@ -69,6 +69,15 @@ struct ModelParams {
   TimeNs link_startup_ns = 90;  // per-packet serialization startup
   double link_mbps = 960.0;     // effective link data rate
 
+  // ---- Multirail (BML striping across rails, paper §2.2) ----
+  // Rails the runtime brings up as independent PTL modules; striping kicks
+  // in for rendezvous payloads at/above stripe_min_bytes. An overdue stripe
+  // pull (deadline = stripe_timeout_ns + 8x its modeled transfer time)
+  // marks its rail suspect and fails over to a survivor.
+  int num_rails = 1;
+  std::size_t stripe_min_bytes = 32768;
+  TimeNs stripe_timeout_ns = 50'000'000;
+
   // ---- Simulated kernel TCP path (reference PTL) ----
   TimeNs syscall_ns = 1200;
   TimeNs tcp_stack_ns = 4000;     // per-packet protocol processing

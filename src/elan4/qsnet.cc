@@ -47,6 +47,18 @@ void QsNet::set_corruption(double prob, std::uint64_t seed) {
   set_faults(profile, seed);
 }
 
+void QsNet::kill_rail(int rail) {
+  // Not routed through set_faults: that call resets the injector for an
+  // empty profile, which would resurrect previously-killed rails.
+  if (faults_ == nullptr) {
+    faults_ = std::make_unique<net::FaultInjector>(net::FaultProfile{},
+                                                   params_.fault_seed);
+    fabric_->set_fault_injector(faults_.get());
+  }
+  log::warn("elan4", "rail ", rail, " marked dead");
+  faults_->set_rail_dead(rail);
+}
+
 bool QsNet::maybe_corrupt(std::vector<std::uint8_t>& data,
                           std::size_t protect_prefix) {
   if (faults_ == nullptr) return false;

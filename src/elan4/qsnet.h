@@ -62,6 +62,10 @@ class QsNet {
   void set_corruption(double prob, std::uint64_t seed = 1);
   // Called by NICs on landing data. Returns true if a bit was flipped.
   bool maybe_corrupt(std::vector<std::uint8_t>& data, std::size_t protect_prefix);
+  // Hard-kill one rail from now on: every packet routed over it vanishes
+  // (all traffic classes). Installs a no-fault injector if none exists, so
+  // killing a rail composes with — but does not require — a fault profile.
+  void kill_rail(int rail);
   net::FaultInjector* faults() { return faults_.get(); }
   std::uint64_t corruptions() const { return faults_ ? faults_->corruptions() : 0; }
 

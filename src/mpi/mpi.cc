@@ -420,13 +420,29 @@ void World::open_stack() {
 
   pml::ContactInfo info;
   if (opts_.use_elan4) {
-    auto ptl = std::make_unique<ptl_elan4::PtlElan4>(*pml_, net_, env_.node,
-                                                     opts_.elan4);
-    info.emplace(ptl->name(), ptl->contact());
-    pml_->add_ptl(std::move(ptl));
+    // One module per rail; the BML stripes across them. Each rail claims
+    // its own Elan context and publishes contact info under its own name.
+    int rails = std::max(opts_.elan4.rails, 1);
+    if (rails > net_.num_rails()) {
+      log::warn("mpi", "requested ", rails, " rails, fabric has ",
+                net_.num_rails());
+      rails = net_.num_rails();
+    }
+    assert((rails == 1 ||
+            opts_.elan4.progress == ptl_elan4::Progress::kPolling) &&
+           "multirail requires polling progress (a process cannot block "
+           "inside one rail while others carry traffic)");
+    for (int r = 0; r < rails; ++r) {
+      std::string nm = r == 0 ? "elan4" : "elan4." + std::to_string(r);
+      auto ptl = std::make_unique<ptl_elan4::PtlElan4>(
+          *pml_, net_, env_.node, opts_.elan4, r, std::move(nm));
+      info.emplace(ptl->name(), ptl->contact());
+      pml_->add_ptl(std::move(ptl));
+    }
   }
   if (opts_.use_tcp) {
-    auto ptl = std::make_unique<ptl_tcp::PtlTcp>(*pml_, net_, env_.node);
+    auto ptl = std::make_unique<ptl_tcp::PtlTcp>(*pml_, net_, env_.node,
+                                                 opts_.tcp_reliability);
     info.emplace(ptl->name(), ptl->contact());
     pml_->add_ptl(std::move(ptl));
   }
@@ -501,9 +517,13 @@ Communicator World::spawn_merge(int n, std::function<void(World&)> child_main,
   return Communicator(this, ctx, comm_->rank(), std::move(gids));
 }
 
-ptl_elan4::PtlElan4* World::elan4_ptl() {
+ptl_elan4::PtlElan4* World::elan4_ptl() { return elan4_rail_ptl(0); }
+
+ptl_elan4::PtlElan4* World::elan4_rail_ptl(int rail) {
+  const std::string want =
+      rail == 0 ? "elan4" : "elan4." + std::to_string(rail);
   for (std::size_t i = 0; i < pml_->num_ptls(); ++i)
-    if (pml_->ptl(i).name() == "elan4")
+    if (pml_->ptl(i).name() == want)
       return static_cast<ptl_elan4::PtlElan4*>(&pml_->ptl(i));
   return nullptr;
 }

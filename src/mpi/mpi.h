@@ -41,6 +41,10 @@ inline constexpr int kAnyTag = pml::kAnyTag;
 struct Options {
   bool use_elan4 = true;
   bool use_tcp = false;
+  // Run the shared go-back-N framing over the TCP PTL too (it is lossless
+  // in the model, so this only adds the framing/ack cost — the opt-in
+  // exists to exercise the reliability component off the Elan4 path).
+  bool tcp_reliability = false;
   ptl_elan4::Options elan4;
   pml::Pml::SchedPolicy sched = pml::Pml::SchedPolicy::kBestWeight;
   // Carry payload in rendezvous first fragments (paper §6.1 ablation; the
@@ -162,6 +166,8 @@ class World {
   pml::Pml& pml() { return *pml_; }
   // The Elan4 PTL module, when enabled (one-sided windows need its device).
   ptl_elan4::PtlElan4* elan4_ptl();
+  // A specific rail's module ("elan4", "elan4.1", ...); nullptr if absent.
+  ptl_elan4::PtlElan4* elan4_rail_ptl(int rail);
   rte::Env& env() { return env_; }
   elan4::QsNet& net() { return net_; }
   const Options& options() const { return opts_; }

@@ -27,6 +27,10 @@ void Fabric::transmit(int src, int dst, std::uint32_t bytes,
     return;
   }
 
+  // A killed rail eats every traffic class — RDMA streams included — which
+  // is what distinguishes a rail failure from per-packet wire loss.
+  if (faults_ != nullptr && faults_->rail_dead(rail)) return;
+
   FaultInjector::WireFault fault;
   if (faults_ != nullptr && cls == Delivery::kLossy) fault = faults_->roll_wire(src, dst);
   if (fault.drop) return;  // the packet vanishes on the wire

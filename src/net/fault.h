@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -104,6 +105,12 @@ class FaultInjector {
 
   void set_corruption(double prob) { default_.corrupt = prob; }
 
+  // Hard-kill a rail: every packet on it — any traffic class — vanishes.
+  // Deterministic (no RNG draw), so killing a rail never perturbs the fault
+  // schedule of surviving rails.
+  void set_rail_dead(int rail) { dead_rails_.insert(rail); }
+  bool rail_dead(int rail) const { return dead_rails_.count(rail) != 0; }
+
   std::uint64_t drops() const { return drops_; }
   std::uint64_t duplicates() const { return duplicates_; }
   std::uint64_t delays() const { return delays_; }
@@ -112,6 +119,7 @@ class FaultInjector {
  private:
   FaultProfile default_;
   std::map<std::pair<int, int>, FaultProfile> links_;
+  std::set<int> dead_rails_;
   sim::Rng wire_rng_;
   sim::Rng corrupt_rng_;
   std::uint64_t drops_ = 0;

@@ -1,0 +1,568 @@
+#include "pml/bml.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "base/checksum.h"
+#include "base/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pml/pml.h"
+#include "rte/oob.h"  // put_pod/get_pod helpers
+#include "sim/engine.h"
+
+namespace oqs::pml {
+
+namespace {
+// CRC re-pulls after a stripe checksum mismatch are bounded separately from
+// the failover attempt cap: a corrupting rail gets several chances before
+// the whole receive fails.
+constexpr int kStripeMaxCrcRetries = 8;
+}  // namespace
+
+Bml::Bml(Pml& pml) : pml_(pml) {}
+
+Bml::~Bml() { *alive_ = false; }
+
+void Bml::add_ptl(std::unique_ptr<Ptl> ptl) { ptls_.push_back(std::move(ptl)); }
+
+bool Bml::any_threaded() const {
+  for (const auto& p : ptls_)
+    if (p->threaded()) return true;
+  return false;
+}
+
+Ptl* Bml::sole_blocking_ptl() const {
+  Ptl* sole = nullptr;
+  for (const auto& p : ptls_) {
+    if (!p->wired()) continue;
+    if (sole != nullptr) return nullptr;  // two live rails: cannot block
+    sole = p.get();
+  }
+  return sole != nullptr && sole->blocking_capable() ? sole : nullptr;
+}
+
+Ptl* Bml::find_rail(const std::string& name) const {
+  for (const auto& p : ptls_)
+    if (p->name() == name) return p.get();
+  return nullptr;
+}
+
+// ------------------------------------------------------ rail selection ----
+
+double Bml::score(const Ptl& p, std::size_t total) const {
+  // Estimated completion time: first-fragment latency plus serialization at
+  // the rail's bandwidth. Small messages chase latency, large ones
+  // bandwidth; a rail with unknown bandwidth only wins by default.
+  const double bw = p.bandwidth_weight();
+  const double serialize =
+      bw > 0.0 ? static_cast<double>(total) * 1000.0 / bw : 1e18;
+  return p.latency_ns() + serialize;
+}
+
+Ptl* Bml::choose(int dst_gid, std::size_t total) {
+  if (policy_ == SchedPolicy::kRoundRobin) {
+    for (std::size_t k = 0; k < ptls_.size(); ++k) {
+      Ptl* p = ptls_[(rr_next_ + k) % ptls_.size()].get();
+      if (p->reaches(dst_gid)) {
+        rr_next_ = (rr_next_ + k + 1) % ptls_.size();
+        return p;
+      }
+    }
+    return nullptr;
+  }
+  Ptl* best = nullptr;
+  double best_score = 0.0;
+  for (const auto& p : ptls_) {
+    if (!p->reaches(dst_gid)) continue;
+    const double s = score(*p, total);
+    if (best == nullptr || s < best_score) {
+      best = p.get();
+      best_score = s;
+    }
+  }
+  return best;
+}
+
+std::vector<Ptl*> Bml::stripe_rails(int gid) const {
+  std::vector<Ptl*> rails;
+  for (const auto& p : ptls_)
+    if (p->stripe_capable() && p->reaches(gid)) rails.push_back(p.get());
+  return rails;
+}
+
+// ----------------------------------------------------------- send path ----
+
+void Bml::send(SendRequest& req) {
+  const int dst_gid = req.dst_gid;
+  Ptl* ptl = choose(dst_gid, req.total_bytes());
+  if (ptl == nullptr && pml_.resolve_peer(dst_gid))
+    ptl = choose(dst_gid, req.total_bytes());
+  if (ptl == nullptr) {
+    log::error("bml", "no PTL reaches gid ", dst_gid);
+    req.fail(Status::kUnreachable);
+    return;
+  }
+  req.ptl = ptl;
+
+  std::size_t inline_len;
+  OQS_METRIC_INC("pml.send.total");
+  if (req.total_bytes() <= ptl->eager_limit()) {
+    inline_len = req.total_bytes();  // whole message rides the first frag
+    OQS_METRIC_INC("pml.send.eager");
+    OQS_TRACE_INSTANT(pml_.ctx().gid, "pml", "send.eager", "len",
+                      req.total_bytes(), "dst",
+                      static_cast<std::uint64_t>(dst_gid));
+  } else {
+    inline_len = inline_rendezvous_ ? ptl->eager_limit() : 0;
+    OQS_METRIC_INC("pml.send.rendezvous");
+    OQS_TRACE_INSTANT(pml_.ctx().gid, "pml", "send.rendezvous", "len",
+                      req.total_bytes(), "dst",
+                      static_cast<std::uint64_t>(dst_gid));
+    // Striping wants the whole payload pullable (no inline prefix) and at
+    // least two stripe-capable rails to the peer.
+    if (inline_len == 0 && try_striped(req)) return;
+  }
+
+  if (pml_.probe_send_to_ptl) pml_.probe_send_to_ptl();
+  ptl->send_first(req, inline_len);
+}
+
+bool Bml::try_striped(SendRequest& req) {
+  if (policy_ != SchedPolicy::kBestWeight) return false;  // RR = legacy path
+  const ProcessCtx& ctx = pml_.ctx();
+  const std::size_t total = req.total_bytes();
+  if (total < ctx.params->stripe_min_bytes) return false;
+  const std::vector<Ptl*> rails = stripe_rails(req.dst_gid);
+  if (rails.size() < 2) return false;
+
+  // Stage non-contiguous payloads once; every rail exposes the same bytes.
+  const void* src = req.buf;
+  if (!req.type->is_contiguous()) {
+    req.staging.resize(total);
+    ctx.compute(ctx.params->host_memcpy_startup_ns +
+                ModelParams::xfer_ns(total, ctx.params->host_memcpy_mbps));
+    req.convertor.pack(req.staging.data(), total);
+    src = req.staging.data();
+  }
+
+  StripedSend op;
+  op.req = &req;
+  op.gid = req.dst_gid;
+  op.rest = total;
+  // Expose the WHOLE payload on EVERY rail (regions are rail-local — each
+  // NIC has its own MMU), so the receiver can pull any stripe over any
+  // surviving rail if one dies mid-transfer.
+  for (Ptl* r : rails) {
+    const std::uint64_t region = r->stripe_expose(src, total);
+    if (region == 0) {
+      for (auto& [p, reg] : op.regions) p->stripe_unexpose(reg);
+      return false;  // fall back to single-rail rendezvous
+    }
+    op.regions.emplace_back(r, region);
+  }
+
+  // Bandwidth-weighted stripe shares; the last stripe absorbs rounding.
+  double wsum = 0.0;
+  for (Ptl* r : rails) wsum += std::max(r->bandwidth_weight(), 1.0);
+  std::vector<StripeSpec> stripes;
+  std::uint64_t off = 0;
+  for (std::size_t i = 0; i < rails.size(); ++i) {
+    std::uint64_t len;
+    if (i + 1 == rails.size()) {
+      len = total - off;
+    } else {
+      const double share = std::max(rails[i]->bandwidth_weight(), 1.0) / wsum;
+      len = static_cast<std::uint64_t>(static_cast<double>(total) * share);
+    }
+    if (len == 0) continue;
+    StripeSpec s;
+    s.rail = static_cast<std::uint32_t>(i);
+    s.offset = off;
+    s.len = len;
+    off += len;
+    stripes.push_back(s);
+  }
+  assert(off == total);
+  assert(stripes.size() <= 64 && "stripe FIN aggregation uses a 64-bit mask");
+
+  // End-to-end stripe checksums when the rails verify payloads (the
+  // receiver re-pulls a mismatching stripe).
+  const bool checksummed = rails[0]->stripe_checksummed();
+  if (checksummed) {
+    ctx.compute(ModelParams::xfer_ns(total, ctx.params->crc_mbps));
+    for (StripeSpec& s : stripes)
+      s.crc = crc32c(static_cast<const std::uint8_t*>(src) + s.offset,
+                     static_cast<std::size_t>(s.len));
+  }
+
+  const std::uint64_t id = next_send_id_++;
+  op.want_mask = stripes.size() == 64 ? ~0ull : (1ull << stripes.size()) - 1;
+
+  // Serialize the stripe map: per-rail (name, region handle), then the
+  // stripe assignments. It rides the first fragment's inline_data.
+  std::vector<std::uint8_t> blob;
+  rte::put_pod(blob, static_cast<std::uint32_t>(op.regions.size()));
+  for (const auto& [r, region] : op.regions) {
+    const std::string& nm = r->name();
+    rte::put_pod(blob, static_cast<std::uint8_t>(nm.size()));
+    blob.insert(blob.end(), nm.begin(), nm.end());
+    rte::put_pod(blob, region);
+  }
+  rte::put_pod(blob, static_cast<std::uint8_t>(checksummed ? 1 : 0));
+  rte::put_pod(blob, static_cast<std::uint32_t>(stripes.size()));
+  for (const StripeSpec& s : stripes) {
+    rte::put_pod(blob, s.rail);
+    rte::put_pod(blob, s.offset);
+    rte::put_pod(blob, s.len);
+    rte::put_pod(blob, s.crc);
+  }
+
+  req.hdr.kind = FragKind::kRendezvousStriped;
+  req.hdr.cookie = id;
+  Ptl* primary = rails[0];
+  ssends_.emplace(id, std::move(op));
+
+  OQS_METRIC_INC("bml.send.striped");
+  OQS_TRACE_INSTANT(ctx.gid, "bml", "send.striped", "len", total, "rails",
+                    static_cast<std::uint64_t>(rails.size()));
+  if (pml_.probe_send_to_ptl) pml_.probe_send_to_ptl();
+  // The striped first fragment is an ordinary sequenced fragment on the
+  // primary rail: it flows through Pml::incoming_first on the receiver, so
+  // per-sender arrival order is preserved across the striped path.
+  primary->bml_post(req.dst_gid, req.hdr, blob.data(), blob.size());
+  return true;
+}
+
+void Bml::handle_stripe_fin(const MatchHeader& hdr) {
+  auto it = ssends_.find(hdr.cookie);
+  if (it == ssends_.end()) {
+    log::warn("bml", "stripe FIN for unknown send ", hdr.cookie);
+    return;
+  }
+  StripedSend& op = it->second;
+  const std::uint64_t bit = 1ull << (hdr.aux & 63);
+  if ((op.fin_mask & bit) != 0) return;  // duplicate FIN (retransmission)
+  op.fin_mask |= bit;
+  if (hdr.status != static_cast<std::uint16_t>(Status::kOk)) op.failed = true;
+  if ((op.fin_mask & op.want_mask) != op.want_mask) return;
+
+  // All stripes accounted for: one aggregated completion.
+  StripedSend done = std::move(op);
+  ssends_.erase(it);
+  for (auto& [rail, region] : done.regions) rail->stripe_unexpose(region);
+  OQS_METRIC_INC("bml.stripe.send_done");
+  OQS_TRACE_INSTANT(pml_.ctx().gid, "bml", "stripe.send_done", "len",
+                    done.rest);
+  if (done.failed)
+    done.req->fail(Status::kError);
+  else
+    pml_.send_progress(*done.req, done.rest);
+}
+
+// -------------------------------------------------------- receive path ----
+
+void Bml::matched_striped(RecvRequest& req, std::unique_ptr<FirstFrag> frag) {
+  const std::vector<std::uint8_t>& blob = frag->inline_data;
+  std::size_t off = 0;
+
+  StripedRecv op;
+  op.req = &req;
+  op.gid = frag->hdr.src_gid;
+  op.sender_cookie = frag->hdr.cookie;
+  op.rest = frag->hdr.len;
+
+  const auto nrails = rte::get_pod<std::uint32_t>(blob, off);
+  for (std::uint32_t i = 0; i < nrails; ++i) {
+    const auto nlen = rte::get_pod<std::uint8_t>(blob, off);
+    std::string name(blob.begin() + static_cast<std::ptrdiff_t>(off),
+                     blob.begin() + static_cast<std::ptrdiff_t>(off + nlen));
+    off += nlen;
+    const auto region = rte::get_pod<std::uint64_t>(blob, off);
+    op.regions.emplace_back(std::move(name), region);
+  }
+  op.checksummed = rte::get_pod<std::uint8_t>(blob, off) != 0;
+  const auto nstripes = rte::get_pod<std::uint32_t>(blob, off);
+  for (std::uint32_t i = 0; i < nstripes; ++i) {
+    StripeSpec s;
+    s.rail = rte::get_pod<std::uint32_t>(blob, off);
+    s.offset = rte::get_pod<std::uint64_t>(blob, off);
+    s.len = rte::get_pod<std::uint64_t>(blob, off);
+    s.crc = rte::get_pod<std::uint32_t>(blob, off);
+    op.stripes.push_back(s);
+  }
+  op.pending.resize(op.stripes.size());
+
+  if (req.type->is_contiguous()) {
+    op.base = static_cast<char*>(req.buf);
+  } else {
+    req.staging.resize(op.rest);
+    op.base = reinterpret_cast<char*>(req.staging.data());
+    op.staged = true;
+  }
+
+  const std::uint64_t rid = next_recv_id_++;
+  const std::size_t count = op.stripes.size();
+  rrecvs_.emplace(rid, std::move(op));
+  OQS_METRIC_INC("bml.recv.striped");
+  OQS_TRACE_INSTANT(pml_.ctx().gid, "bml", "recv.striped", "len",
+                    frag->hdr.len, "stripes",
+                    static_cast<std::uint64_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rrecvs_.find(rid) == rrecvs_.end()) break;  // failed mid-issue
+    issue_pull(rid, i);
+  }
+  arm_stripe_timer();
+}
+
+void Bml::issue_pull(std::uint64_t rid, std::size_t idx) {
+  auto it = rrecvs_.find(rid);
+  if (it == rrecvs_.end()) return;
+  StripedRecv& op = it->second;
+  const StripeSpec& s = op.stripes[idx];
+  PendingPull& pend = op.pending[idx];
+
+  auto usable = [&](Ptl* p) {
+    return p != nullptr && p->stripe_capable() && p->reaches(op.gid) &&
+           suspect_rails_.count(p->name()) == 0;
+  };
+  // Preferred rail: the sender's assignment. Failing that (suspect, absent,
+  // unreachable), any live rail — the sender exposed the whole payload on
+  // every rail for exactly this case.
+  Ptl* rail = nullptr;
+  std::uint64_t region = 0;
+  if (Ptl* p = find_rail(op.regions[s.rail].first); usable(p)) {
+    rail = p;
+    region = op.regions[s.rail].second;
+  } else {
+    for (const auto& [nm, reg] : op.regions) {
+      Ptl* q = find_rail(nm);
+      if (usable(q)) {
+        rail = q;
+        region = reg;
+        break;
+      }
+    }
+  }
+  if (rail == nullptr) {
+    fail_recv(rid, Status::kUnreachable);
+    return;
+  }
+
+  const ProcessCtx& ctx = pml_.ctx();
+  ++pend.attempts;
+  pend.rail = rail;
+  pend.done = false;
+  // Generous per-stripe deadline: the failover timeout plus several times
+  // the ideal serialization, so a loaded-but-healthy rail is never culled.
+  pend.deadline =
+      ctx.engine->now() + ctx.params->stripe_timeout_ns +
+      8 * ModelParams::xfer_ns(s.len, ctx.params->link_mbps);
+  pend.pull_id = rail->stripe_pull(
+      op.gid, region, static_cast<std::size_t>(s.offset), op.base + s.offset,
+      static_cast<std::size_t>(s.len),
+      [this, tok = std::weak_ptr<bool>(alive_), rid, idx](Status st) {
+        auto a = tok.lock();
+        if (!a || !*a) return;
+        on_pull_done(rid, idx, st);
+      });
+  if (pend.pull_id == 0) {
+    // The rail refused outright (peer gone there): immediately suspect.
+    suspect_rails_.insert(rail->name());
+    if (pend.attempts <= static_cast<int>(ptls_.size()) + 1)
+      issue_pull(rid, idx);
+    else
+      fail_recv(rid, Status::kUnreachable);
+    return;
+  }
+  OQS_TRACE_INSTANT(ctx.gid, "bml", "stripe.pull", "idx",
+                    static_cast<std::uint64_t>(idx), "len", s.len);
+}
+
+void Bml::on_pull_done(std::uint64_t rid, std::size_t idx, Status st) {
+  auto it = rrecvs_.find(rid);
+  if (it == rrecvs_.end()) return;
+  StripedRecv& op = it->second;
+  PendingPull& pend = op.pending[idx];
+  if (pend.done) return;  // stale completion after a reassignment
+  const ProcessCtx& ctx = pml_.ctx();
+  const StripeSpec& s = op.stripes[idx];
+
+  if (!ok(st)) {
+    if (pend.rail != nullptr) suspect_rails_.insert(pend.rail->name());
+    if (pend.attempts > static_cast<int>(ptls_.size()) + 1) {
+      fail_recv(rid, st);
+      return;
+    }
+    issue_pull(rid, idx);
+    return;
+  }
+
+  if (op.checksummed) {
+    ctx.compute(ModelParams::xfer_ns(s.len, ctx.params->crc_mbps));
+    if (crc32c(op.base + s.offset, static_cast<std::size_t>(s.len)) != s.crc) {
+      OQS_METRIC_INC("bml.stripe.crc_retries");
+      if (++pend.crc_retries > kStripeMaxCrcRetries) {
+        fail_recv(rid, Status::kError);
+        return;
+      }
+      // Re-pull without burning a failover attempt: a corrupting wire is
+      // not a dead rail.
+      --pend.attempts;
+      issue_pull(rid, idx);
+      return;
+    }
+  }
+
+  pend.done = true;
+  pend.pull_id = 0;
+  ++op.done_count;
+  OQS_TRACE_INSTANT(ctx.gid, "bml", "stripe.done", "idx",
+                    static_cast<std::uint64_t>(idx), "len", s.len);
+  // FIN per stripe; the sender aggregates all FINs into one completion.
+  send_stripe_fin(op, idx, Status::kOk);
+  if (op.done_count == op.stripes.size()) finish_recv(rid);
+}
+
+void Bml::send_stripe_fin(StripedRecv& op, std::size_t idx, Status st) {
+  // Control traffic stays on the primary (first live) rail, like the
+  // striped first fragment: a FIN must never ride a rail that might be the
+  // one being failed over, or its loss would strand the sender's
+  // aggregation.
+  Ptl* rail = nullptr;
+  for (const auto& [nm, reg] : op.regions) {
+    Ptl* p = find_rail(nm);
+    if (p != nullptr && p->reaches(op.gid) && suspect_rails_.count(nm) == 0) {
+      rail = p;
+      break;
+    }
+  }
+  if (rail == nullptr) return;  // no live rail: the sender is gone anyway
+  MatchHeader fin;
+  fin.kind = FragKind::kStripeFin;
+  fin.src_gid = pml_.ctx().gid;
+  fin.dst_gid = op.gid;
+  fin.cookie = op.sender_cookie;
+  fin.aux = idx;
+  fin.status = static_cast<std::uint16_t>(st);
+  // Not control-flagged: under reliability the FIN rides the sequenced
+  // go-back-N stream, so a lost FIN is retransmitted, not stranded.
+  rail->bml_post(op.gid, fin, nullptr, 0);
+}
+
+void Bml::finish_recv(std::uint64_t rid) {
+  auto it = rrecvs_.find(rid);
+  StripedRecv op = std::move(it->second);
+  rrecvs_.erase(it);
+  const ProcessCtx& ctx = pml_.ctx();
+  if (op.staged) {
+    ctx.compute(ctx.params->host_memcpy_startup_ns +
+                ModelParams::xfer_ns(op.rest, ctx.params->host_memcpy_mbps));
+    op.req->convertor.unpack(op.req->staging.data(), op.rest);
+  }
+  OQS_METRIC_INC("bml.stripe.recv_done");
+  OQS_TRACE_INSTANT(ctx.gid, "bml", "stripe.recv_done", "len", op.rest);
+  pml_.recv_progress(*op.req, op.rest);
+}
+
+void Bml::fail_recv(std::uint64_t rid, Status st) {
+  auto it = rrecvs_.find(rid);
+  if (it == rrecvs_.end()) return;
+  StripedRecv op = std::move(it->second);
+  rrecvs_.erase(it);
+  for (PendingPull& pend : op.pending) {
+    if (!pend.done && pend.rail != nullptr && pend.pull_id != 0)
+      pend.rail->stripe_cancel(pend.pull_id);
+  }
+  // Report every unfinished stripe to the sender so it unexposes its
+  // regions and fails the send instead of waiting forever.
+  for (std::size_t i = 0; i < op.stripes.size(); ++i)
+    if (!op.pending[i].done) send_stripe_fin(op, i, st);
+  log::warn("bml", "striped recv from gid ", op.gid, " failed: ",
+            to_string(st));
+  OQS_METRIC_INC("bml.stripe.failed");
+  op.req->fail(st);
+}
+
+// ------------------------------------------------------ stripe failover ----
+
+void Bml::arm_stripe_timer() {
+  if (stripe_timer_armed_ || finalized_ || rrecvs_.empty()) return;
+  stripe_timer_armed_ = true;
+  const ProcessCtx& ctx = pml_.ctx();
+  const sim::Time interval =
+      std::max<sim::Time>(ctx.params->stripe_timeout_ns / 4, 1000);
+  ctx.engine->schedule(interval, [this, token = alive_] {
+    if (!*token) return;
+    // Timer events are plain callbacks; re-issuing pulls charges host CPU,
+    // which requires a fiber — so the scan runs in a short-lived one.
+    pml_.ctx().engine->spawn("bml-stripe", [this, token] {
+      if (!*token) return;
+      stripe_fire();
+    });
+  });
+}
+
+void Bml::stripe_fire() {
+  stripe_timer_armed_ = false;
+  const ProcessCtx& ctx = pml_.ctx();
+  const sim::Time now = ctx.engine->now();
+  // Collect overdue stripes first: issue_pull / fail_recv mutate rrecvs_.
+  std::vector<std::pair<std::uint64_t, std::size_t>> overdue;
+  for (auto& [rid, op] : rrecvs_) {
+    for (std::size_t i = 0; i < op.pending.size(); ++i) {
+      const PendingPull& pend = op.pending[i];
+      if (!pend.done && pend.pull_id != 0 && now >= pend.deadline)
+        overdue.emplace_back(rid, i);
+    }
+  }
+  for (const auto& [rid, idx] : overdue) {
+    auto it = rrecvs_.find(rid);
+    if (it == rrecvs_.end()) continue;
+    StripedRecv& op = it->second;
+    PendingPull& pend = op.pending[idx];
+    if (pend.done) continue;
+    // The pull sat past its deadline: presume the rail dead, abandon the
+    // pull, and re-issue the stripe on a survivor.
+    log::warn("bml", "stripe ", idx, " overdue on rail ",
+              pend.rail != nullptr ? pend.rail->name() : "?",
+              "; failing over");
+    OQS_METRIC_INC("bml.stripe.failovers");
+    OQS_TRACE_INSTANT(ctx.gid, "bml", "stripe.failover", "idx",
+                      static_cast<std::uint64_t>(idx));
+    if (pend.rail != nullptr) {
+      pend.rail->stripe_cancel(pend.pull_id);
+      suspect_rails_.insert(pend.rail->name());
+    }
+    pend.pull_id = 0;
+    if (pend.attempts > static_cast<int>(ptls_.size()) + 1)
+      fail_recv(rid, Status::kUnreachable);
+    else
+      issue_pull(rid, idx);
+  }
+  arm_stripe_timer();
+}
+
+// ------------------------------------------------------------ lifecycle ----
+
+int Bml::progress() {
+  int n = 0;
+  for (const auto& p : ptls_) n += p->progress();
+  return n;
+}
+
+void Bml::finalize() {
+  if (finalized_) return;
+  const ProcessCtx& ctx = pml_.ctx();
+  // Drain in-flight striped operations first (the failover timer keeps
+  // running, so a dead rail cannot wedge the drain), then quiesce the rails.
+  while (striped_active() != 0) {
+    if (progress() == 0) ctx.engine->sleep(ctx.params->host_poll_ns);
+  }
+  finalized_ = true;
+  *alive_ = false;
+  for (const auto& p : ptls_) p->finalize();
+}
+
+}  // namespace oqs::pml

@@ -1,0 +1,166 @@
+// The BML: a multiplexer between the PML and the PTL modules.
+//
+// Open MPI later split rail management out of the point-to-point layer into
+// a "BTL management layer"; this component plays that role here. The PML
+// owns matching and request state; the BML owns the PTL set and everything
+// multi-rail (paper §2.2 "scheduling messages across multiple networks"):
+//
+//  - rail selection: the lowest-estimated-latency rail carries eager
+//    traffic and single-rail rendezvous (latency + serialization at the
+//    rail's bandwidth, so small messages chase latency and large ones
+//    bandwidth); the legacy round-robin policy is preserved for the
+//    scheduler experiments,
+//  - striping: rendezvous payloads at/above ModelParams::stripe_min_bytes
+//    are split across every stripe-capable rail in bandwidth-weighted
+//    shares; the receiver pulls each stripe over its own rail and sends one
+//    FIN per stripe, which the sender aggregates into a single completion,
+//  - failover: each stripe carries a pull deadline; an overdue stripe marks
+//    its rail suspect and is re-issued on a survivor (the sender exposes
+//    the whole payload on every rail precisely so any rail can serve any
+//    stripe).
+//
+// Per-sender arrival order is preserved because the striped first fragment
+// is an ordinary sequenced fragment through Pml::incoming_first; only the
+// bulk payload fans out across rails.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pml/ptl.h"
+#include "pml/request.h"
+#include "sim/time.h"
+
+namespace oqs::pml {
+
+class Pml;
+
+enum class SchedPolicy {
+  kBestWeight,  // best completion-time estimate (default)
+  kRoundRobin,  // rotate across reachable PTLs per message
+};
+
+class Bml {
+ public:
+  explicit Bml(Pml& pml);
+  ~Bml();
+  Bml(const Bml&) = delete;
+  Bml& operator=(const Bml&) = delete;
+
+  void set_sched_policy(SchedPolicy p) { policy_ = p; }
+  void set_inline_rendezvous(bool v) { inline_rendezvous_ = v; }
+
+  void add_ptl(std::unique_ptr<Ptl> ptl);
+  std::size_t num_ptls() const { return ptls_.size(); }
+  Ptl& ptl(std::size_t i) { return *ptls_[i]; }
+  bool any_threaded() const;
+  // The single wired, blocking-capable rail — or nullptr when several rails
+  // are live (a process cannot block inside one PTL while others carry
+  // traffic, §3.2). This counts live endpoints, not constructed PTLs, so a
+  // dormant secondary module does not forfeit interrupt-driven waits.
+  Ptl* sole_blocking_ptl() const;
+
+  // Route and transmit a send whose header the PML has filled in. Decides
+  // eager vs rendezvous vs striped rendezvous.
+  void send(SendRequest& req);
+
+  // Receiver side of a striped rendezvous: the PML matched a
+  // kRendezvousStriped first fragment; parse the stripe map and start the
+  // per-rail pulls.
+  void matched_striped(RecvRequest& req, std::unique_ptr<FirstFrag> frag);
+  // Sender side: a kStripeFin arrived from any rail.
+  void handle_stripe_fin(const MatchHeader& hdr);
+
+  int progress();
+  // Drain in-flight striped operations, then quiesce every PTL.
+  void finalize();
+
+  // Striped operations still in flight (either direction).
+  std::size_t striped_active() const { return ssends_.size() + rrecvs_.size(); }
+  // Rails marked suspect by stripe failover (by PTL name).
+  const std::set<std::string>& suspect_rails() const { return suspect_rails_; }
+
+ private:
+  // One stripe assignment within a striped rendezvous.
+  struct StripeSpec {
+    std::uint32_t rail = 0;  // index into the sender's rail-region list
+    std::uint64_t offset = 0;
+    std::uint64_t len = 0;
+    std::uint32_t crc = 0;  // payload CRC32C (checksummed rails only)
+  };
+
+  struct StripedSend {
+    SendRequest* req = nullptr;
+    int gid = -1;
+    std::size_t rest = 0;
+    // Exposed regions, one per stripe-capable rail, in stripe-map order.
+    std::vector<std::pair<Ptl*, std::uint64_t>> regions;
+    std::uint64_t fin_mask = 0;
+    std::uint64_t want_mask = 0;
+    bool failed = false;
+  };
+
+  // Receiver-side progress of one stripe.
+  struct PendingPull {
+    Ptl* rail = nullptr;
+    std::uint64_t pull_id = 0;
+    sim::Time deadline = 0;
+    int attempts = 0;     // rails tried (failover cap)
+    int crc_retries = 0;  // re-pulls after checksum mismatch
+    bool done = false;
+  };
+
+  struct StripedRecv {
+    RecvRequest* req = nullptr;
+    int gid = -1;
+    std::uint64_t sender_cookie = 0;  // keys the FINs we send back
+    // Sender's exposed regions: rail name -> region handle, in map order.
+    std::vector<std::pair<std::string, std::uint64_t>> regions;
+    std::vector<StripeSpec> stripes;
+    std::vector<PendingPull> pending;
+    char* base = nullptr;  // pull target (user buffer or staging)
+    bool staged = false;
+    bool checksummed = false;
+    std::size_t rest = 0;
+    std::size_t done_count = 0;
+  };
+
+  Ptl* choose(int dst_gid, std::size_t total);
+  // Completion-time estimate for routing: wire latency + serialization.
+  double score(const Ptl& p, std::size_t total) const;
+  // Stripe-capable rails reaching gid (used for both the striping decision
+  // and the region exposure).
+  std::vector<Ptl*> stripe_rails(int gid) const;
+  bool try_striped(SendRequest& req);
+  void issue_pull(std::uint64_t rid, std::size_t idx);
+  void on_pull_done(std::uint64_t rid, std::size_t idx, Status st);
+  void send_stripe_fin(StripedRecv& op, std::size_t idx, Status st);
+  void finish_recv(std::uint64_t rid);
+  void fail_recv(std::uint64_t rid, Status st);
+  Ptl* find_rail(const std::string& name) const;
+  void arm_stripe_timer();
+  void stripe_fire();
+
+  Pml& pml_;
+  SchedPolicy policy_ = SchedPolicy::kBestWeight;
+  bool inline_rendezvous_ = false;
+  std::size_t rr_next_ = 0;
+  std::vector<std::unique_ptr<Ptl>> ptls_;
+
+  std::uint64_t next_send_id_ = 1;  // striped-send cookie (on the wire)
+  std::uint64_t next_recv_id_ = 1;  // local striped-recv key
+  std::map<std::uint64_t, StripedSend> ssends_;
+  std::map<std::uint64_t, StripedRecv> rrecvs_;
+  std::set<std::string> suspect_rails_;
+
+  bool stripe_timer_armed_ = false;
+  // Timer-liveness token: cleared at finalize so in-flight callbacks die.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  bool finalized_ = false;
+};
+
+}  // namespace oqs::pml

@@ -28,6 +28,13 @@ enum class FragKind : std::uint8_t {
   kData = 8,        // copy-path remainder chunk (TCP PTL)
   kNack = 9,        // reliability: resend frames starting at hdr.cookie
   kFrameAck = 10,   // reliability: explicit cumulative ack (hdr.ack_seq)
+  // BML multi-rail striping (no inline payload; the body is the stripe map:
+  // per-rail exposed regions + per-stripe rail/offset/length assignments).
+  kRendezvousStriped = 11,
+  // receiver -> sender: stripe hdr.aux of message hdr.cookie landed
+  // (hdr.status carries the outcome); the sender aggregates these into one
+  // completion.
+  kStripeFin = 12,
 };
 
 // MatchHeader.flags bits.

@@ -13,28 +13,6 @@ Pml::~Pml() {
   if (!finalized_) finalize();
 }
 
-void Pml::add_ptl(std::unique_ptr<Ptl> ptl) { ptls_.push_back(std::move(ptl)); }
-
-Ptl* Pml::choose_ptl(int dst_gid) {
-  if (policy_ == SchedPolicy::kRoundRobin) {
-    for (std::size_t k = 0; k < ptls_.size(); ++k) {
-      Ptl* p = ptls_[(rr_next_ + k) % ptls_.size()].get();
-      if (p->reaches(dst_gid)) {
-        rr_next_ = (rr_next_ + k + 1) % ptls_.size();
-        return p;
-      }
-    }
-    return nullptr;
-  }
-  Ptl* best = nullptr;
-  for (const auto& p : ptls_) {
-    if (!p->reaches(dst_gid)) continue;
-    if (best == nullptr || p->bandwidth_weight() > best->bandwidth_weight())
-      best = p.get();
-  }
-  return best;
-}
-
 void Pml::start_send(SendRequest& req, int ctx_id, int src_rank, int dst_rank,
                      int tag, int dst_gid) {
   assert(!finalized_);
@@ -44,9 +22,7 @@ void Pml::start_send(SendRequest& req, int ctx_id, int src_rank, int dst_rank,
   // Opportunistic progress on entry (standard MPI behaviour): connection
   // control traffic — a peer's goodbye before it migrated, for instance —
   // must be seen before the routing decision below.
-  bool any_threaded = false;
-  for (const auto& p : ptls_) any_threaded |= p->threaded();
-  if (!any_threaded) progress();
+  if (!bml_.any_threaded()) progress();
   ctx_.compute(ctx_.params->pml_sched_ns);
 
   req.hdr.ctx = ctx_id;
@@ -59,32 +35,8 @@ void Pml::start_send(SendRequest& req, int ctx_id, int src_rank, int dst_rank,
   req.hdr.seq = ++send_seq_[dst_gid];
   req.dst_gid = dst_gid;
 
-  Ptl* ptl = choose_ptl(dst_gid);
-  if (ptl == nullptr && resolve_peer(dst_gid)) ptl = choose_ptl(dst_gid);
-  if (ptl == nullptr) {
-    log::error("pml", "no PTL reaches gid ", dst_gid);
-    req.fail(Status::kUnreachable);
-    return;
-  }
-  req.ptl = ptl;
-
-  std::size_t inline_len;
-  OQS_METRIC_INC("pml.send.total");
-  if (req.total_bytes() <= ptl->eager_limit()) {
-    inline_len = req.total_bytes();  // whole message rides the first frag
-    OQS_METRIC_INC("pml.send.eager");
-    OQS_TRACE_INSTANT(ctx_.gid, "pml", "send.eager", "len", req.total_bytes(),
-                      "dst", static_cast<std::uint64_t>(dst_gid));
-  } else {
-    inline_len = inline_rendezvous_ ? ptl->eager_limit() : 0;
-    OQS_METRIC_INC("pml.send.rendezvous");
-    OQS_TRACE_INSTANT(ctx_.gid, "pml", "send.rendezvous", "len",
-                      req.total_bytes(), "dst",
-                      static_cast<std::uint64_t>(dst_gid));
-  }
-
-  if (probe_send_to_ptl) probe_send_to_ptl();
-  ptl->send_first(req, inline_len);
+  // Routing (eager vs rendezvous vs striped rendezvous) is the BML's job.
+  bml_.send(req);
 }
 
 bool Pml::matches(const RecvRequest& req, const MatchHeader& hdr) {
@@ -119,7 +71,8 @@ bool Pml::resolve_peer(int gid) {
   if (!peer_resolver) return false;
   const ContactInfo info = peer_resolver(gid);
   bool reachable = false;
-  for (const auto& p : ptls_) reachable |= ok(p->add_peer(gid, info));
+  for (std::size_t i = 0; i < bml_.num_ptls(); ++i)
+    reachable |= ok(bml_.ptl(i).add_peer(gid, info));
   return reachable;
 }
 
@@ -194,8 +147,17 @@ void Pml::bind(RecvRequest& req, std::unique_ptr<FirstFrag> frag) {
     log::warn("pml", "truncation: incoming ", frag->hdr.len, "B > posted ",
               req.capacity, "B");
     assert(frag->hdr.len <= frag->inline_data.size() &&
+           frag->hdr.kind != FragKind::kRendezvousStriped &&
            "rendezvous truncation is unsupported; post a large enough buffer");
     req.fail(Status::kTruncate);  // completes first; progress below still counts
+  }
+
+  // Striped rendezvous: the fragment carries the stripe map, not payload;
+  // the BML pulls the stripes over their rails and completes the request.
+  if (frag->hdr.kind == FragKind::kRendezvousStriped) {
+    ctx_.compute(ctx_.params->pml_sched_ns);
+    bml_.matched_striped(req, std::move(frag));
+    return;
   }
 
   // Unpack any inline payload into the user buffer via the convertor.
@@ -240,26 +202,22 @@ void Pml::recv_progress(RecvRequest& req, std::size_t bytes) {
   }
 }
 
-int Pml::progress() {
-  int n = 0;
-  for (const auto& p : ptls_) n += p->progress();
-  return n;
-}
+int Pml::progress() { return bml_.progress(); }
 
 void Pml::wait(Request& req) {
-  bool any_threaded = false;
-  for (const auto& p : ptls_) any_threaded |= p->threaded();
-  if (any_threaded) {
+  if (bml_.any_threaded()) {
     req.done_flag().wait();
     return;
   }
-  // Interrupt-driven blocking only works when a single PTL is active — a
+  // Interrupt-driven blocking only works when a single rail is active — a
   // process cannot block inside one PTL while others carry traffic (§3.2).
+  // The BML counts *wired* rails (live endpoints), not constructed PTL
+  // objects, so a dormant secondary module does not forfeit blocking waits.
   // Block only while the PTL is idle; once a protocol exchange is in flight
   // (rendezvous answered, RDMA outstanding), poll it to completion so a
   // multi-step protocol costs one interrupt, not one per step.
-  if (ptls_.size() == 1 && ptls_[0]->blocking_capable()) {
-    Ptl& ptl = *ptls_[0];
+  if (Ptl* sole = bml_.sole_blocking_ptl()) {
+    Ptl& ptl = *sole;
     while (!req.complete()) {
       if (ptl.progress() > 0) continue;
       if (ptl.active())
@@ -300,7 +258,7 @@ void Pml::finalize() {
   // Unlink (and fail) any receives still posted so their storage can be
   // reclaimed safely after teardown.
   while (RecvRequest* req = posted_.pop_front()) req->fail(Status::kShutdown);
-  for (const auto& p : ptls_) p->finalize();
+  bml_.finalize();
 }
 
 }  // namespace oqs::pml

@@ -16,6 +16,7 @@
 
 #include "base/intrusive_list.h"
 #include "base/params.h"
+#include "pml/bml.h"
 #include "pml/ptl.h"
 #include "pml/request.h"
 #include "sim/cpu.h"
@@ -35,29 +36,30 @@ struct ProcessCtx {
 
 class Pml {
  public:
-  enum class SchedPolicy {
-    kBestWeight,  // highest-bandwidth reachable PTL (default)
-    kRoundRobin,  // rotate across reachable PTLs per message
-  };
+  // Rail scheduling lives in the BML now; the alias keeps the historical
+  // Pml::SchedPolicy spelling working at every call site.
+  using SchedPolicy = pml::SchedPolicy;
 
-  explicit Pml(ProcessCtx ctx) : ctx_(ctx) {}
+  explicit Pml(ProcessCtx ctx) : ctx_(ctx), bml_(*this) {}
   ~Pml();
   Pml(const Pml&) = delete;
   Pml& operator=(const Pml&) = delete;
 
   const ProcessCtx& ctx() const { return ctx_; }
-  void set_sched_policy(SchedPolicy p) { policy_ = p; }
+  void set_sched_policy(SchedPolicy p) { bml_.set_sched_policy(p); }
   // When false, rendezvous first fragments carry no payload — the paper's
   // "NoInline" optimization (§6.1), which avoids the extra copy on RDMA
   // networks. Default mirrors the paper's best configuration: off.
-  void set_inline_rendezvous(bool v) { inline_rendezvous_ = v; }
+  void set_inline_rendezvous(bool v) { bml_.set_inline_rendezvous(v); }
   // Condvar handoff latency charged when a progress thread completes a
   // request the application thread is blocked on.
   void set_request_wake_delay(sim::Time ns) { request_wake_delay_ = ns; }
 
-  void add_ptl(std::unique_ptr<Ptl> ptl);
-  std::size_t num_ptls() const { return ptls_.size(); }
-  Ptl& ptl(std::size_t i) { return *ptls_[i]; }
+  // The rail multiplexer owning the PTL set (routing, striping, failover).
+  Bml& bml() { return bml_; }
+  void add_ptl(std::unique_ptr<Ptl> ptl) { bml_.add_ptl(std::move(ptl)); }
+  std::size_t num_ptls() const { return bml_.num_ptls(); }
+  Ptl& ptl(std::size_t i) { return bml_.ptl(i); }
 
   // --- application-facing path (called from the process fiber) ---
   // Begin a send; hdr addressing fields other than len/seq must be set.
@@ -113,7 +115,6 @@ class Pml {
   std::size_t posted_count() const { return posted_.size(); }
 
  private:
-  Ptl* choose_ptl(int dst_gid);
   // Deliver an in-sequence fragment into matching.
   void admit(std::unique_ptr<FirstFrag> frag);
   // Bind a matched pair: inline unpack, completion or scheme kick-off.
@@ -121,11 +122,8 @@ class Pml {
   static bool matches(const RecvRequest& req, const MatchHeader& hdr);
 
   ProcessCtx ctx_;
-  SchedPolicy policy_ = SchedPolicy::kBestWeight;
-  bool inline_rendezvous_ = false;
+  Bml bml_;
   sim::Time request_wake_delay_ = 0;
-  std::size_t rr_next_ = 0;
-  std::vector<std::unique_ptr<Ptl>> ptls_;
 
   // Sender-side per-destination sequence numbers.
   std::map<int, std::uint64_t> send_seq_;

@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "base/status.h"
+#include "pml/endpoint.h"
 #include "pml/header.h"
 #include "pml/request.h"
 
@@ -55,6 +57,16 @@ class Ptl {
   virtual Status add_peer(int gid, const ContactInfo& info) = 0;
   virtual void remove_peer(int gid) = 0;
   virtual bool reaches(int gid) const = 0;
+  // The per-peer endpoint for gid, or nullptr when the PTL does not expose
+  // its connection state (or has no such peer).
+  virtual Endpoint* endpoint(int gid) { return nullptr; }
+  // First-fragment wire latency estimate (ns) for the BML's eager rail
+  // selection; 0 = unknown (ties broken by bandwidth_weight).
+  virtual double latency_ns() const { return 0; }
+  // True while this module has at least one live endpoint — i.e. it is an
+  // active rail for this process. The PML's blocking-wait gate counts wired
+  // rails, not constructed PTL objects.
+  virtual bool wired() const { return true; }
 
   // --- send path ---
   // Transmit the first fragment of req (header + up to inline_len payload
@@ -66,6 +78,51 @@ class Ptl {
   // RDMA-write, or RDMA-read + FIN_ACK). Only called when hdr.len exceeds
   // the inline payload.
   virtual void matched(RecvRequest& req, std::unique_ptr<FirstFrag> frag) = 0;
+
+  // --- BML multi-rail striping hooks (optional; default: not capable) ---
+  // A stripe-capable rail can expose a local memory region for remote pull
+  // and pull stripes of a peer's exposed region. Regions are rail-local
+  // (each NIC has its own MMU): a region handle from rail r is only
+  // meaningful to the peer's rail-r module.
+  virtual bool stripe_capable() const { return false; }
+  // Rendezvous payloads are protected by a per-stripe checksum on this rail
+  // (the BML then verifies and re-pulls on mismatch).
+  virtual bool stripe_checksummed() const { return false; }
+  // Expose [base, base+len) for remote pull; returns an opaque region
+  // handle (0 = failure). The caller unexposes it after FIN aggregation.
+  virtual std::uint64_t stripe_expose(const void* base, std::size_t len) {
+    (void)base;
+    (void)len;
+    return 0;
+  }
+  virtual void stripe_unexpose(std::uint64_t region) { (void)region; }
+  // Pull `len` bytes at `offset` of the peer's exposed region into dst.
+  // Returns a pull id (0 = peer unreachable); `done` runs on completion.
+  virtual std::uint64_t stripe_pull(int gid, std::uint64_t region,
+                                    std::size_t offset, void* dst,
+                                    std::size_t len,
+                                    std::function<void(Status)> done) {
+    (void)gid;
+    (void)region;
+    (void)offset;
+    (void)dst;
+    (void)len;
+    (void)done;
+    return 0;
+  }
+  // Abandon an outstanding pull (rail presumed dead); its completion
+  // callback will not run.
+  virtual void stripe_cancel(std::uint64_t pull_id) { (void)pull_id; }
+  // Transmit a BML-built protocol frame (striped first fragment, stripe
+  // FIN) to gid. Non-control frames ride the rail's sequenced/reliable
+  // path like any data frame.
+  virtual void bml_post(int gid, const MatchHeader& hdr, const void* body,
+                        std::size_t body_len) {
+    (void)gid;
+    (void)hdr;
+    (void)body;
+    (void)body_len;
+  }
 
   // Poll the network once; deliver arrivals into the PML. Returns the
   // number of events handled. Used by the PML's non-blocking progress mode.

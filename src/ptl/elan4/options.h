@@ -68,7 +68,10 @@ struct Options {
   // Host receive-queue slots (QSLOTS) and preallocated 2KB send buffers.
   std::uint32_t qslots = 2048;
   std::uint32_t send_bufs = 64;
-  // Rails for the multirail extension; control traffic stays on rail 0.
+  // Rails for the multirail extension. Consumed by the MPI bring-up, which
+  // instantiates one PtlElan4 module per rail ("elan4", "elan4.1", ...);
+  // the BML stripes long rendezvous payloads across them and keeps control
+  // traffic on the primary (lowest-latency) rail.
   int rails = 1;
 };
 

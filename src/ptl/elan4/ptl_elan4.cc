@@ -19,10 +19,15 @@ using elan4::Vpid;
 using pml::FragKind;
 using pml::MatchHeader;
 
-PtlElan4::PtlElan4(pml::Pml& pml, elan4::QsNet& net, int node, Options opts)
-    : pml_(pml), net_(net), node_(node), opts_(opts) {
-  assert(opts_.rails >= 1 && opts_.rails <= kMaxRails);
-  assert(opts_.rails <= net.num_rails());
+PtlElan4::PtlElan4(pml::Pml& pml, elan4::QsNet& net, int node, Options opts,
+                   int rail, std::string name)
+    : pml_(pml),
+      net_(net),
+      node_(node),
+      rail_(rail),
+      opts_(opts),
+      name_(std::move(name)) {
+  assert(rail_ >= 0 && rail_ < net.num_rails());
   // Interrupt and one-thread progress need every completion to land in the
   // combined queue; two-thread needs the separate queue (paper §4.3).
   if (opts_.progress == Progress::kInterrupt || opts_.progress == Progress::kOneThread)
@@ -36,22 +41,19 @@ PtlElan4::PtlElan4(pml::Pml& pml, elan4::QsNet& net, int node, Options opts)
     opts_.scheme = Scheme::kRdmaRead;
     opts_.chained_fin = false;
   }
-  // Multirail data striping aggregates completions on the host (rail-1
-  // events cannot chain into a rail-0 queue on real hardware either).
-  if (opts_.rails > 1) {
-    assert(opts_.progress == Progress::kPolling && "multirail supports polling only");
-    opts_.completion = Completion::kDirectPoll;
-    opts_.chained_fin = false;
-  }
+  rtuning_.send_window = opts_.send_window;
+  rtuning_.ack_every = opts_.ack_every;
+  rtuning_.ack_delay_ns = opts_.ack_delay_ns;
+  rtuning_.retransmit_timeout_ns = opts_.retransmit_timeout_ns;
+  rtuning_.max_retransmit_backoff = opts_.max_retransmit_backoff;
+  rtuning_.nack_holdoff_ns = opts_.nack_holdoff_ns;
+  rtuning_.seq_start = opts_.seq_start;
 
-  for (int r = 0; r < opts_.rails; ++r) {
-    auto dev = net_.open(node_, r);
-    assert(dev && "no free Elan4 context on this node");
-    devices_.push_back(std::move(dev));
-  }
-  recv_q_ = devices_[0]->create_queue(opts_.qslots, 2048);
+  device_ = net_.open(node_, rail_);
+  assert(device_ && "no free Elan4 context on this node");
+  recv_q_ = device_->create_queue(opts_.qslots, 2048);
   if (opts_.completion == Completion::kSharedSeparate)
-    comp_q_ = devices_[0]->create_queue(opts_.qslots, 2048);
+    comp_q_ = device_->create_queue(opts_.qslots, 2048);
 
   if (threaded()) {
     pml_.set_request_wake_delay(net_.params().thread_wakeup_ns);
@@ -63,17 +65,21 @@ PtlElan4::~PtlElan4() {
   if (!finalized_) finalize();
 }
 
-double PtlElan4::bandwidth_weight() const {
-  return net_.params().link_mbps * opts_.rails;
+double PtlElan4::bandwidth_weight() const { return net_.params().link_mbps; }
+
+double PtlElan4::latency_ns() const {
+  // First-fragment one-way estimate for the BML's rail selection: post +
+  // NIC launch + two fabric hops + slot landing.
+  const ModelParams& p = net_.params();
+  return static_cast<double>(p.host_qdma_post_ns + p.nic_qdma_start_ns +
+                             2 * p.hop_ns + p.nic_slot_write_ns);
 }
 
 // ----------------------------------------------------------- wire-up ----
 
 std::vector<std::uint8_t> PtlElan4::contact() const {
   std::vector<std::uint8_t> blob;
-  rte::put_pod(blob, static_cast<std::int32_t>(opts_.rails));
-  for (int r = 0; r < kMaxRails; ++r)
-    rte::put_pod(blob, r < opts_.rails ? devices_[r]->vpid() : elan4::kInvalidVpid);
+  rte::put_pod(blob, device_->vpid());
   rte::put_pod(blob, static_cast<std::int32_t>(recv_q_->id()));
   return blob;
 }
@@ -83,17 +89,15 @@ Status PtlElan4::add_peer(int gid, const pml::ContactInfo& info) {
   if (it == info.end()) return Status::kUnreachable;
   std::size_t off = 0;
   const auto& blob = it->second;
-  (void)rte::get_pod<std::int32_t>(blob, off);  // peer rail count
-  Peer p;
-  for (int r = 0; r < kMaxRails; ++r) p.vpid[r] = rte::get_pod<Vpid>(blob, off);
+  // Re-adding a peer (migration/rejoin) resets its connection — including
+  // the reliability stream, whose sequence spaces restart at seq_start
+  // (0 in production; tests place it near 65535 to exercise wraparound).
+  Elan4Endpoint& p = peers_[gid];
+  p.gid = gid;
+  p.alive = true;
+  p.vpid = rte::get_pod<Vpid>(blob, off);
   p.recv_queue = rte::get_pod<std::int32_t>(blob, off);
-  // Sequence spaces start at seq_start (0 in production; tests place it
-  // near 65535 to exercise wraparound without 65k warmup frames).
-  p.tx_seq = opts_.seq_start;
-  p.last_acked = opts_.seq_start;
-  p.rx_expected = static_cast<std::uint16_t>(opts_.seq_start + 1);
-  p.log_base = p.rx_expected;
-  peers_[gid] = p;
+  p.stream = opts_.reliability ? make_stream(gid) : nullptr;
   return Status::kOk;
 }
 
@@ -104,234 +108,120 @@ bool PtlElan4::reaches(int gid) const {
   return it != peers_.end() && it->second.alive;
 }
 
+pml::Endpoint* PtlElan4::endpoint(int gid) {
+  auto it = peers_.find(gid);
+  return it == peers_.end() ? nullptr : &it->second;
+}
+
+bool PtlElan4::wired() const {
+  for (const auto& [gid, peer] : peers_)
+    if (peer.alive) return true;
+  return false;
+}
+
 // --------------------------------------------------------- utilities ----
 
 void PtlElan4::charge_pack(std::size_t bytes) {
   const ModelParams& p = net_.params();
   const double rate = opts_.use_dtype_engine ? p.dtype_pack_mbps : p.host_memcpy_mbps;
-  devices_[0]->compute(p.host_memcpy_startup_ns + ModelParams::xfer_ns(bytes, rate));
-}
-
-std::size_t PtlElan4::rail_share(std::size_t rest, int rail) const {
-  const std::size_t rails = static_cast<std::size_t>(opts_.rails);
-  const std::size_t base = rest / rails;
-  // Rail 0 absorbs the remainder.
-  return rail == 0 ? rest - base * (rails - 1) : base;
+  device_->compute(p.host_memcpy_startup_ns + ModelParams::xfer_ns(bytes, rate));
 }
 
 void PtlElan4::charge_crc(std::size_t bytes) {
-  devices_[0]->compute(ModelParams::xfer_ns(bytes, net_.params().crc_mbps) + 40);
+  device_->compute(ModelParams::xfer_ns(bytes, net_.params().crc_mbps) + 40);
 }
 
-void PtlElan4::post_wire(Peer& peer, const std::vector<std::uint8_t>& frame,
+std::unique_ptr<ptl::ReliableStream> PtlElan4::make_stream(int gid) {
+  ptl::ReliableStream::Hooks hooks;
+  hooks.wire = [this, gid](const std::vector<std::uint8_t>& frame,
+                           void* recycle) {
+    post_wire(peers_.at(gid), frame, static_cast<E4Event*>(recycle));
+  };
+  hooks.charge_crc = [this](std::size_t bytes) { charge_crc(bytes); };
+  hooks.now = [this] { return net_.engine().now(); };
+  hooks.arm_rtx = [this](sim::Time deadline) { arm_rtx_timer(deadline); };
+  hooks.arm_ack = [this] { arm_ack_timer(); };
+  hooks.send_nack = [this, gid] { send_nack(gid); };
+  hooks.send_ack = [this, gid] { send_frame_ack(gid); };
+  hooks.node = node_;
+  hooks.name = name_;
+  return std::make_unique<ptl::ReliableStream>(rtuning_, counters_,
+                                               std::move(hooks));
+}
+
+void PtlElan4::post_wire(Elan4Endpoint& peer,
+                         const std::vector<std::uint8_t>& frame,
                          E4Event* recycle) {
-  devices_[0]->post_qdma(peer.vpid[0], peer.recv_queue, frame, recycle,
-                         /*lossy=*/true);
+  tx_bytes_ += frame.size();
+  device_->post_qdma(peer.vpid, peer.recv_queue, frame, recycle,
+                     /*lossy=*/true);
 }
 
-void PtlElan4::post_frame(Peer& peer, const MatchHeader& hdr, const void* body,
-                          std::size_t body_len, const void* payload,
-                          std::size_t payload_len) {
+void PtlElan4::post_frame(Elan4Endpoint& peer, const MatchHeader& hdr,
+                          const void* body, std::size_t body_len,
+                          const void* payload, std::size_t payload_len) {
   const bool sequenced =
       opts_.reliability && (hdr.flags & pml::kFlagControl) == 0;
   const std::size_t trailer = sequenced ? 4 : 0;
   std::vector<std::uint8_t> frame(sizeof(MatchHeader) + body_len + payload_len +
                                   trailer);
   MatchHeader h = hdr;
-  if (opts_.reliability) {
-    // Cumulative ack rides on every frame to this peer, data or control.
-    h.ack_seq = static_cast<std::uint16_t>(peer.rx_expected - 1);
-    peer.last_acked = h.ack_seq;
-    peer.unacked_rx = 0;
-  }
+  if (opts_.reliability) peer.stream->stamp_ack(h);
   if (sequenced) {
     h.flags |= pml::kFlagChecksummed;
-    h.frame_seq = ++peer.tx_seq;
+    h.frame_seq = peer.stream->assign_seq();
   }
   std::memcpy(frame.data(), &h, sizeof(MatchHeader));
   if (body_len > 0) std::memcpy(frame.data() + sizeof(MatchHeader), body, body_len);
   if (payload_len > 0)
     std::memcpy(frame.data() + sizeof(MatchHeader) + body_len, payload, payload_len);
   if (sequenced) {
-    const std::uint32_t crc = crc32c(frame.data(), frame.size() - 4);
-    std::memcpy(frame.data() + frame.size() - 4, &crc, 4);
-    charge_crc(frame.size());
-    if (peer.sent_log.size() >= opts_.send_window || !peer.tx_backlog.empty()) {
-      // Window closed: the frame (sequence already assigned) waits its
-      // turn. It is posted in order by drain_backlog when acks open the
-      // window — history is never dropped.
-      peer.tx_backlog.push_back(QueuedFrame{std::move(frame), recycle_event_});
-      OQS_METRIC_INC("ptl.reliability.backlogged");
-      return;
-    }
-    peer.sent_log.push_back(frame);
-    if (peer.sent_log.size() == 1) {
-      peer.rtx_deadline = net_.engine().now() + opts_.retransmit_timeout_ns;
-      arm_rtx_timer(peer.rtx_deadline);
-    }
-    post_wire(peer, frame, recycle_event_);
+    peer.stream->submit(std::move(frame), recycle_event_);
     return;
   }
   // Control frames bypass sequencing. They are still fault-exposed in
   // reliability mode (a lost NACK/ack is recovered by the retransmission
   // timer), except the teardown goodbye, which nothing would resend.
   const bool lossy = opts_.reliability && hdr.kind != FragKind::kGoodbye;
-  devices_[0]->post_qdma(peer.vpid[0], peer.recv_queue, frame, recycle_event_,
-                         lossy);
+  tx_bytes_ += frame.size();
+  device_->post_qdma(peer.vpid, peer.recv_queue, frame, recycle_event_, lossy);
 }
 
-void PtlElan4::handle_peer_ack(Peer& peer, std::uint16_t ack_seq) {
-  // Frames newly covered by this cumulative ack (int16 delta is wraparound-
-  // safe for windows below 32768).
-  auto n = static_cast<std::int16_t>(
-      ack_seq - static_cast<std::uint16_t>(peer.log_base - 1));
-  if (n <= 0) return;  // stale or duplicate ack info
-  bool progressed = false;
-  while (n-- > 0 && !peer.sent_log.empty()) {
-    peer.sent_log.pop_front();
-    ++peer.log_base;
-    progressed = true;
-  }
-  if (!progressed) return;
-  OQS_METRIC_INC("ptl.reliability.acks_received");
-  peer.rtx_backoff = 0;
-  peer.rtx_deadline = net_.engine().now() + opts_.retransmit_timeout_ns;
-  drain_backlog(peer);
-}
-
-void PtlElan4::drain_backlog(Peer& peer) {
-  while (!peer.tx_backlog.empty() && peer.sent_log.size() < opts_.send_window) {
-    QueuedFrame qf = std::move(peer.tx_backlog.front());
-    peer.tx_backlog.pop_front();
-    peer.sent_log.push_back(qf.frame);
-    post_wire(peer, qf.frame, qf.recycle);
-  }
-  if (!peer.sent_log.empty()) arm_rtx_timer(peer.rtx_deadline);
-}
-
-bool PtlElan4::admit_frame(Peer& peer, const MatchHeader& hdr,
-                           const std::vector<std::uint8_t>& frame) {
-  charge_crc(frame.size());
-  std::uint32_t stored = 0;
-  std::memcpy(&stored, frame.data() + frame.size() - 4, 4);
-  if (crc32c(frame.data(), frame.size() - 4) != stored) {
-    ++frames_dropped_;
-    OQS_METRIC_INC("ptl.reliability.frames_dropped");
-    log::debug(name_, "frame ", hdr.frame_seq, " from gid ", hdr.src_gid,
-               " failed CRC; NACKing ", peer.rx_expected);
-    send_nack(hdr.src_gid, peer);
-    return false;
-  }
-  const auto delta = static_cast<std::int16_t>(hdr.frame_seq - peer.rx_expected);
-  if (delta == 0) {
-    ++peer.rx_expected;
-    note_admitted(hdr.src_gid, peer);
-    return true;
-  }
-  if (delta > 0) {
-    // Gap: an earlier frame is missing. Ask for a resend (go-back-N).
-    ++frames_dropped_;
-    OQS_METRIC_INC("ptl.reliability.frames_dropped");
-    send_nack(hdr.src_gid, peer);
-    return false;
-  }
-  // Duplicate (retransmission overshoot or a wire-duplicated packet): drop
-  // it, and re-ack so a sender stuck on a lost ack converges. Rate-limited —
-  // a whole retransmitted window must not trigger a re-ack per frame.
-  ++dup_frames_;
-  OQS_METRIC_INC("ptl.reliability.dup_frames");
-  const sim::Time now = net_.engine().now();
-  if (now - peer.last_reack_time >= opts_.nack_holdoff_ns) {
-    peer.last_reack_time = now;
-    send_frame_ack(hdr.src_gid, peer);
-  }
-  return false;
-}
-
-void PtlElan4::send_nack(int gid, Peer& peer) {
-  const std::uint16_t expected = peer.rx_expected;
-  const sim::Time now = net_.engine().now();
-  // One NACK per loss event: a burst of out-of-order frames behind one hole
-  // would otherwise trigger a quadratic retransmission storm.
-  if (peer.last_nack_seq == expected &&
-      now - peer.last_nack_time < opts_.nack_holdoff_ns)
-    return;
-  peer.last_nack_seq = expected;
-  peer.last_nack_time = now;
+void PtlElan4::send_nack(int gid) {
+  Elan4Endpoint& peer = peers_.at(gid);
   MatchHeader nack;
   nack.kind = FragKind::kNack;
   nack.flags = pml::kFlagControl;
-  nack.cookie = expected;
+  nack.cookie = peer.stream->rx_expected();
   nack.src_gid = pml_.ctx().gid;
   nack.dst_gid = gid;
   OQS_METRIC_INC("ptl.reliability.nacks_sent");
   post_frame(peer, nack, nullptr, 0, nullptr, 0);
 }
 
-void PtlElan4::send_frame_ack(int gid, Peer& peer) {
+void PtlElan4::send_frame_ack(int gid) {
+  Elan4Endpoint& peer = peers_.at(gid);
   MatchHeader ack;
   ack.kind = FragKind::kFrameAck;
   ack.flags = pml::kFlagControl;
   ack.src_gid = pml_.ctx().gid;
   ack.dst_gid = gid;
-  ++acks_sent_;
+  ++counters_.acks_sent;
   OQS_METRIC_INC("ptl.reliability.acks_sent");
   post_frame(peer, ack, nullptr, 0, nullptr, 0);  // ack_seq set by post_frame
 }
 
-void PtlElan4::note_admitted(int gid, Peer& peer) {
-  if (++peer.unacked_rx >= opts_.ack_every)
-    send_frame_ack(gid, peer);  // cadence ack now
-  else
-    arm_ack_timer();  // trailing frames get acked by the delay timer
-}
-
 void PtlElan4::flush_acks() {
   for (auto& [gid, peer] : peers_) {
-    if (!peer.alive) continue;
-    if (peer.unacked_rx > 0 ||
-        peer.last_acked != static_cast<std::uint16_t>(peer.rx_expected - 1))
-      send_frame_ack(gid, peer);
-  }
-}
-
-void PtlElan4::retransmit_from(Peer& peer, std::size_t offset,
-                               std::size_t max_frames) {
-  const std::size_t end =
-      std::min(peer.sent_log.size(), offset + max_frames);
-  for (std::size_t i = offset; i < end; ++i) {
-    ++retransmissions_;
-    OQS_METRIC_INC("ptl.reliability.retransmissions");
-    OQS_TRACE_INSTANT(node_, "ptl", "reliability.retransmit", "seq",
-                      static_cast<std::uint16_t>(peer.log_base + i));
-    // Retransmissions are not free: the wire CRC is recomputed/verified by
-    // the NIC path exactly like a first transmission.
-    charge_crc(peer.sent_log[i].size());
-    post_wire(peer, peer.sent_log[i], nullptr);
+    if (!peer.alive || peer.stream == nullptr) continue;
+    if (peer.stream->ack_debt()) send_frame_ack(gid);
   }
 }
 
 void PtlElan4::handle_nack(const MatchHeader& hdr) {
   auto it = peers_.find(hdr.src_gid);
   if (it == peers_.end() || !it->second.alive) return;
-  Peer& peer = it->second;
-  const auto from = static_cast<std::uint16_t>(hdr.cookie);
-  const auto offset = static_cast<std::int16_t>(from - peer.log_base);
-  if (offset < 0) return;  // stale NACK: those frames were acked since
-  if (static_cast<std::size_t>(offset) >= peer.sent_log.size()) {
-    // The receiver asked past everything outstanding — every unacked frame
-    // has already been resent or the NACK raced an ack. With ack-driven
-    // pruning an unacked frame can never have left sent_log, so there is
-    // nothing to recover here (the old size-based pruning made this a
-    // permanent stall).
-    return;
-  }
-  retransmit_from(peer, static_cast<std::size_t>(offset),
-                  peer.sent_log.size());
-  if (peer.rtx_backoff < opts_.max_retransmit_backoff) ++peer.rtx_backoff;
-  peer.rtx_deadline = net_.engine().now() +
-                      (opts_.retransmit_timeout_ns << peer.rtx_backoff);
-  arm_rtx_timer(peer.rtx_deadline);
+  it->second.stream->on_nack(static_cast<std::uint16_t>(hdr.cookie));
 }
 
 // ------------------------------------------------------- retry timers ----
@@ -358,19 +248,9 @@ void PtlElan4::rtx_fire() {
   const sim::Time now = net_.engine().now();
   sim::Time next = 0;
   for (auto& [gid, peer] : peers_) {
-    if (!peer.alive || peer.sent_log.empty()) continue;
-    if (now >= peer.rtx_deadline) {
-      // No ack progress for a full timeout: the window front (or the ack
-      // for it) is lost. Go back and resend a prefix; the receiver's
-      // cumulative ack recovers the rest.
-      ++rtx_timeouts_;
-      OQS_METRIC_INC("ptl.reliability.rtx_timeouts");
-      retransmit_from(peer, 0, 64);
-      if (peer.rtx_backoff < opts_.max_retransmit_backoff) ++peer.rtx_backoff;
-      peer.rtx_deadline =
-          now + (opts_.retransmit_timeout_ns << peer.rtx_backoff);
-    }
-    if (next == 0 || peer.rtx_deadline < next) next = peer.rtx_deadline;
+    if (!peer.alive || peer.stream == nullptr) continue;
+    const sim::Time deadline = peer.stream->rtx_check(now);
+    if (deadline != 0 && (next == 0 || deadline < next)) next = deadline;
   }
   if (next != 0) arm_rtx_timer(next);
 }
@@ -390,12 +270,12 @@ void PtlElan4::arm_ack_timer() {
 void PtlElan4::ack_fire() {
   ack_timer_armed_ = false;
   for (auto& [gid, peer] : peers_) {
-    if (!peer.alive || peer.unacked_rx == 0) continue;
-    send_frame_ack(gid, peer);
+    if (!peer.alive || peer.stream == nullptr) continue;
+    if (peer.stream->unacked_rx() > 0) send_frame_ack(gid);
   }
 }
 
-PtlElan4::Peer* PtlElan4::wait_for_window(int gid) {
+Elan4Endpoint* PtlElan4::wait_for_window(int gid) {
   // Application-fiber backpressure: block until the peer's window has room
   // for one more sequenced frame. Progress must keep running while blocked
   // or the acks that open the window are never processed.
@@ -426,8 +306,8 @@ void PtlElan4::arm_completion(E4Event* ev, std::uint64_t id) {
   hdr.cookie = id;
   hdr.src_gid = hdr.dst_gid = pml_.ctx().gid;
   QdmaCmd cmd;
-  cmd.src_vpid = devices_[0]->vpid();
-  cmd.dest_vpid = devices_[0]->vpid();
+  cmd.src_vpid = device_->vpid();
+  cmd.dest_vpid = device_->vpid();
   cmd.dest_queue = opts_.completion == Completion::kSharedSeparate ? comp_q_->id()
                                                                    : recv_q_->id();
   cmd.data.resize(sizeof(MatchHeader));
@@ -441,16 +321,16 @@ void PtlElan4::send_first(pml::SendRequest& req, std::size_t inline_len) {
   // send_first runs on the application fiber, the one place the protocol
   // may block: a full send window backpressures the sender here instead of
   // dropping retransmission history.
-  Peer* pp = wait_for_window(req.dst_gid);
+  Elan4Endpoint* pp = wait_for_window(req.dst_gid);
   if (pp == nullptr) {
     req.fail(Status::kUnreachable);
     return;
   }
   OQS_TRACE_SPAN(span_, node_, "ptl", "send_first", "len", req.total_bytes());
-  Peer& peer = *pp;
+  Elan4Endpoint& peer = *pp;
   const ModelParams& p = net_.params();
   const std::size_t total = req.total_bytes();
-  if (opts_.use_dtype_engine) devices_[0]->compute(p.dtype_engine_startup_ns);
+  if (opts_.use_dtype_engine) device_->compute(p.dtype_engine_startup_ns);
 
   if (total <= eager_limit()) {
     // Eager: whole payload rides the first QDMA from a send buffer.
@@ -470,7 +350,7 @@ void PtlElan4::send_first(pml::SendRequest& req, std::size_t inline_len) {
     const bool defer_completion =
         track_recycle && opts_.progress != Progress::kInterrupt;
     if (track_recycle) {
-      E4Event* ev = devices_[0]->alloc_event("sendbuf");
+      E4Event* ev = device_->alloc_event("sendbuf");
       ev->init(1);
       if (defer_completion) {
         const std::uint64_t id = next_id_++;
@@ -524,15 +404,11 @@ void PtlElan4::send_first(pml::SendRequest& req, std::size_t inline_len) {
     req.convertor.pack(req.staging.data(), op.rest);
     op.src_ptr = reinterpret_cast<const char*>(req.staging.data());
   }
-  for (int r = 0; r < opts_.rails; ++r)
-    op.src_addr[r] = devices_[static_cast<std::size_t>(r)]->map(
-        const_cast<char*>(op.src_ptr), op.rest);
+  op.src_addr = device_->map(const_cast<char*>(op.src_ptr), op.rest);
 
   RdvBody body{};
-  for (int r = 0; r < kMaxRails; ++r)
-    body.src_addr[r] = opts_.scheme == Scheme::kRdmaRead && r < opts_.rails
-                           ? op.src_addr[r]
-                           : elan4::kNullE4Addr;
+  body.src_addr =
+      opts_.scheme == Scheme::kRdmaRead ? op.src_addr : elan4::kNullE4Addr;
   if (opts_.reliability) {
     charge_crc(op.rest);
     body.data_crc = crc32c(op.src_ptr, op.rest);
@@ -553,45 +429,37 @@ void PtlElan4::handle_ack(const MatchHeader& hdr, const AckBody& body) {
     return;
   }
   PendingSend& op = it->second;
-  const Peer& peer = peers_.at(op.gid);
+  const Elan4Endpoint& peer = peers_.at(op.gid);
   op.peer_recv_cookie = body.recv_cookie;
   OQS_TRACE_INSTANT(node_, "ptl", "rdv.ack", "cookie", hdr.cookie, "rest",
                     op.rest);
 
-  int rails_used = 0;
-  for (int r = 0; r < opts_.rails; ++r)
-    if (body.dst_addr[r] != elan4::kNullE4Addr) ++rails_used;
-  assert(rails_used >= 1);
-  op.awaiting = rails_used;
-  const bool chain_fin = rails_used == 1 && opts_.chained_fin;
+  assert(body.dst_addr != elan4::kNullE4Addr);
+  op.awaiting = 1;
+  const bool chain_fin = opts_.chained_fin;
   op.fin_needed = !chain_fin;
 
-  std::size_t off = 0;
-  for (int r = 0; r < rails_used; ++r) {
-    const std::size_t part = rails_used == 1 ? op.rest : rail_share(op.rest, r);
-    E4Event* ev = devices_[static_cast<std::size_t>(r)]->alloc_event("put");
-    ev->init(1);
-    op.events.push_back(ev);
-    if (r == 0 && chain_fin) {
-      MatchHeader fin;
-      fin.kind = FragKind::kFin;
-      fin.cookie = op.peer_recv_cookie;
-      fin.src_gid = pml_.ctx().gid;
-      fin.dst_gid = op.gid;
-      QdmaCmd cmd;
-      cmd.src_vpid = devices_[0]->vpid();
-      cmd.dest_vpid = peer.vpid[0];
-      cmd.dest_queue = peer.recv_queue;
-      cmd.data.resize(sizeof(MatchHeader));
-      std::memcpy(cmd.data.data(), &fin, sizeof(MatchHeader));
-      ev->chain(std::move(cmd));
-    }
-    arm_completion(ev, it->first);
-    devices_[static_cast<std::size_t>(r)]->rdma_write(
-        peer.vpid[r], op.src_addr[r] + off, body.dst_addr[r] + off,
-        static_cast<std::uint32_t>(part), ev);
-    off += part;
+  E4Event* ev = device_->alloc_event("put");
+  ev->init(1);
+  op.events.push_back(ev);
+  if (chain_fin) {
+    MatchHeader fin;
+    fin.kind = FragKind::kFin;
+    fin.cookie = op.peer_recv_cookie;
+    fin.src_gid = pml_.ctx().gid;
+    fin.dst_gid = op.gid;
+    QdmaCmd cmd;
+    cmd.src_vpid = device_->vpid();
+    cmd.dest_vpid = peer.vpid;
+    cmd.dest_queue = peer.recv_queue;
+    cmd.data.resize(sizeof(MatchHeader));
+    std::memcpy(cmd.data.data(), &fin, sizeof(MatchHeader));
+    ev->chain(std::move(cmd));
   }
+  arm_completion(ev, it->first);
+  tx_bytes_ += op.rest;
+  device_->rdma_write(peer.vpid, op.src_addr, body.dst_addr,
+                      static_cast<std::uint32_t>(op.rest), ev);
 }
 
 void PtlElan4::complete_send(std::uint64_t id, PendingSend& op) {
@@ -606,9 +474,7 @@ void PtlElan4::complete_send(std::uint64_t id, PendingSend& op) {
       post_frame(pit->second, fin, nullptr, 0, nullptr, 0);
     }
   }
-  for (int r = 0; r < opts_.rails; ++r)
-    if (op.src_addr[r] != elan4::kNullE4Addr)
-      devices_[static_cast<std::size_t>(r)]->unmap(op.src_addr[r]);
+  if (op.src_addr != elan4::kNullE4Addr) device_->unmap(op.src_addr);
   pml::SendRequest* req = op.req;
   const std::size_t rest = op.rest;
   OQS_METRIC_INC("ptl.rdv.send_done");
@@ -626,9 +492,7 @@ void PtlElan4::handle_fin_ack(const MatchHeader& hdr) {
   if (hdr.status != static_cast<std::uint16_t>(Status::kOk)) {
     // Receiver could not recover the payload; fail the send accordingly.
     PendingSend& op = it->second;
-    for (int r = 0; r < opts_.rails; ++r)
-      if (op.src_addr[r] != elan4::kNullE4Addr)
-        devices_[static_cast<std::size_t>(r)]->unmap(op.src_addr[r]);
+    if (op.src_addr != elan4::kNullE4Addr) device_->unmap(op.src_addr);
     pml::SendRequest* req = op.req;
     sends_.erase(it);
     req->fail(static_cast<Status>(hdr.status));
@@ -639,44 +503,39 @@ void PtlElan4::handle_fin_ack(const MatchHeader& hdr) {
 
 // ------------------------------------------------------ receive path ----
 
-void PtlElan4::issue_reads(std::uint64_t id, PendingRecv& op) {
-  const Peer& peer = peers_.at(op.gid);
-  const bool chain_finack = op.rails_used == 1 && opts_.chained_fin;
-  op.awaiting = op.rails_used;
+void PtlElan4::issue_read(std::uint64_t id, PendingRecv& op) {
+  const Elan4Endpoint& peer = peers_.at(op.gid);
+  const bool chain_finack = opts_.chained_fin;
+  op.awaiting = 1;
   OQS_METRIC_ADD("ptl.rdma.read_bytes", op.rest);
   OQS_TRACE_INSTANT(node_, "ptl", "rdv.issue_reads", "cookie", id, "rest",
                     op.rest);
-  std::size_t off = 0;
-  for (int r = 0; r < op.rails_used; ++r) {
-    const std::size_t part = op.rails_used == 1 ? op.rest : rail_share(op.rest, r);
-    E4Event* ev;
-    if (static_cast<std::size_t>(r) < op.events.size()) {
-      ev = op.events[static_cast<std::size_t>(r)];  // retry: re-arm
-    } else {
-      ev = devices_[static_cast<std::size_t>(r)]->alloc_event("get");
-      op.events.push_back(ev);
-    }
-    ev->init(1);
-    if (r == 0 && chain_finack) {
-      MatchHeader fa;
-      fa.kind = FragKind::kFinAck;
-      fa.cookie = op.send_cookie;
-      fa.src_gid = pml_.ctx().gid;
-      fa.dst_gid = op.gid;
-      QdmaCmd cmd;
-      cmd.src_vpid = devices_[0]->vpid();
-      cmd.dest_vpid = peer.vpid[0];
-      cmd.dest_queue = peer.recv_queue;
-      cmd.data.resize(sizeof(MatchHeader));
-      std::memcpy(cmd.data.data(), &fa, sizeof(MatchHeader));
-      ev->chain(std::move(cmd));
-    }
-    arm_completion(ev, id);
-    devices_[static_cast<std::size_t>(r)]->rdma_read(
-        peer.vpid[r], op.src_remote[r] + off, op.dst_addr[r] + off,
-        static_cast<std::uint32_t>(part), ev);
-    off += part;
+  E4Event* ev;
+  if (!op.events.empty()) {
+    ev = op.events.front();  // retry: re-arm
+  } else {
+    ev = device_->alloc_event("get");
+    op.events.push_back(ev);
   }
+  ev->init(1);
+  if (chain_finack) {
+    MatchHeader fa;
+    fa.kind = FragKind::kFinAck;
+    fa.cookie = op.send_cookie;
+    fa.src_gid = pml_.ctx().gid;
+    fa.dst_gid = op.gid;
+    QdmaCmd cmd;
+    cmd.src_vpid = device_->vpid();
+    cmd.dest_vpid = peer.vpid;
+    cmd.dest_queue = peer.recv_queue;
+    cmd.data.resize(sizeof(MatchHeader));
+    std::memcpy(cmd.data.data(), &fa, sizeof(MatchHeader));
+    ev->chain(std::move(cmd));
+  }
+  arm_completion(ev, id);
+  tx_bytes_ += op.rest;
+  device_->rdma_read(peer.vpid, op.src_remote, op.dst_addr,
+                     static_cast<std::uint32_t>(op.rest), ev);
 }
 
 void PtlElan4::matched(pml::RecvRequest& req, std::unique_ptr<pml::FirstFrag> frag) {
@@ -687,7 +546,7 @@ void PtlElan4::matched(pml::RecvRequest& req, std::unique_ptr<pml::FirstFrag> fr
     return;
   }
   OQS_TRACE_SPAN(span_, node_, "ptl", "rdv.matched", "len", ef->hdr.len);
-  Peer& peer = pit->second;
+  Elan4Endpoint& peer = pit->second;
   const std::size_t got_inline = ef->inline_data.size();
   const std::uint64_t id = next_id_++;
 
@@ -707,26 +566,19 @@ void PtlElan4::matched(pml::RecvRequest& req, std::unique_ptr<pml::FirstFrag> fr
   }
 
   if (opts_.scheme == Scheme::kRdmaRead) {
-    // How many rails did the sender expose?
-    int sender_rails = 0;
-    for (int r = 0; r < kMaxRails; ++r)
-      if (ef->src_addr[r] != elan4::kNullE4Addr) ++sender_rails;
-    assert(sender_rails >= 1 && "read scheme requires the sender's E4 address");
-    op.rails_used = std::min(sender_rails, opts_.rails);
-    op.finack_needed = !(op.rails_used == 1 && opts_.chained_fin);
-    for (int r = 0; r < op.rails_used; ++r) {
-      op.src_remote[r] = ef->src_addr[r];
-      op.dst_addr[r] = devices_[static_cast<std::size_t>(r)]->map(op.dst_ptr, op.rest);
-    }
+    assert(ef->src_addr != elan4::kNullE4Addr &&
+           "read scheme requires the sender's E4 address");
+    op.finack_needed = !opts_.chained_fin;
+    op.src_remote = ef->src_addr;
+    op.dst_addr = device_->map(op.dst_ptr, op.rest);
     auto [it, inserted] = recvs_.emplace(id, std::move(op));
     assert(inserted);
-    issue_reads(id, it->second);
+    issue_read(id, it->second);
     return;
   }
 
   // RDMA-write scheme: expose the landing zone and ACK with its address.
-  for (int r = 0; r < opts_.rails; ++r)
-    op.dst_addr[r] = devices_[static_cast<std::size_t>(r)]->map(op.dst_ptr, op.rest);
+  op.dst_addr = device_->map(op.dst_ptr, op.rest);
   OQS_METRIC_ADD("ptl.rdma.write_bytes", op.rest);
   OQS_TRACE_INSTANT(node_, "ptl", "rdv.ack_sent", "cookie", op.send_cookie,
                     "rest", op.rest);
@@ -737,8 +589,7 @@ void PtlElan4::matched(pml::RecvRequest& req, std::unique_ptr<pml::FirstFrag> fr
   ack.dst_gid = op.gid;
   AckBody body{};
   body.recv_cookie = id;
-  for (int r = 0; r < kMaxRails; ++r)
-    body.dst_addr[r] = r < opts_.rails ? op.dst_addr[r] : elan4::kNullE4Addr;
+  body.dst_addr = op.dst_addr;
   recvs_.emplace(id, std::move(op));
   post_frame(peer, ack, &body, sizeof(body), nullptr, 0);
 }
@@ -747,7 +598,7 @@ void PtlElan4::complete_recv(std::uint64_t id, PendingRecv& op) {
   Status final_st = Status::kOk;
   if (opts_.reliability && op.rest > 0) {
     // End-to-end verification of the RDMA payload (LA-MPI style). On a
-    // mismatch, re-issue the reads: the sender keeps the region exposed
+    // mismatch, re-issue the read: the sender keeps the region exposed
     // until it sees our FIN_ACK, so retries are always safe.
     charge_crc(op.rest);
     if (crc32c(op.dst_ptr, op.rest) != op.expect_crc) {
@@ -756,7 +607,7 @@ void PtlElan4::complete_recv(std::uint64_t id, PendingRecv& op) {
       if (++op.retries <= opts_.max_data_retries) {
         log::debug(name_, "payload CRC mismatch; re-reading (attempt ",
                    op.retries, ")");
-        issue_reads(id, op);
+        issue_read(id, op);
         return;
       }
       log::error(name_, "payload unrecoverable after ", op.retries - 1,
@@ -776,9 +627,7 @@ void PtlElan4::complete_recv(std::uint64_t id, PendingRecv& op) {
       post_frame(pit->second, fa, nullptr, 0, nullptr, 0);
     }
   }
-  for (int r = 0; r < opts_.rails; ++r)
-    if (op.dst_addr[r] != elan4::kNullE4Addr)
-      devices_[static_cast<std::size_t>(r)]->unmap(op.dst_addr[r]);
+  if (op.dst_addr != elan4::kNullE4Addr) device_->unmap(op.dst_addr);
   if (op.staged && ok(final_st)) {
     charge_pack(op.rest);
     op.req->convertor.unpack(op.req->staging.data(), op.rest);
@@ -803,6 +652,59 @@ void PtlElan4::handle_fin(const MatchHeader& hdr) {
   complete_recv(it->first, it->second);
 }
 
+// ------------------------------------------------ BML striping hooks ----
+
+std::uint64_t PtlElan4::stripe_expose(const void* base, std::size_t len) {
+  return device_->map(const_cast<void*>(base), len);
+}
+
+void PtlElan4::stripe_unexpose(std::uint64_t region) {
+  device_->unmap(static_cast<E4Addr>(region));
+}
+
+std::uint64_t PtlElan4::stripe_pull(int gid, std::uint64_t region,
+                                    std::size_t offset, void* dst,
+                                    std::size_t len,
+                                    std::function<void(Status)> done) {
+  auto it = peers_.find(gid);
+  if (it == peers_.end() || !it->second.alive) return 0;
+  const std::uint64_t id = next_id_++;
+  StripePull sp;
+  sp.dst_addr = device_->map(dst, len);
+  sp.done = std::move(done);
+  E4Event* ev = device_->alloc_event("stripe");
+  ev->init(1);
+  sp.event = ev;
+  const E4Addr dst_addr = sp.dst_addr;
+  pulls_.emplace(id, std::move(sp));
+  arm_completion(ev, id);
+  tx_bytes_ += len;
+  device_->rdma_read(it->second.vpid, static_cast<E4Addr>(region) + offset,
+                     dst_addr, static_cast<std::uint32_t>(len), ev);
+  return id;
+}
+
+void PtlElan4::stripe_cancel(std::uint64_t pull_id) {
+  auto it = pulls_.find(pull_id);
+  if (it == pulls_.end()) return;
+  device_->unmap(it->second.dst_addr);
+  pulls_.erase(it);
+  // Drop the poll-list registration too (the event may never fire).
+  for (auto pit = poll_list_.begin(); pit != poll_list_.end();) {
+    if (pit->first == pull_id)
+      pit = poll_list_.erase(pit);
+    else
+      ++pit;
+  }
+}
+
+void PtlElan4::bml_post(int gid, const MatchHeader& hdr, const void* body,
+                        std::size_t body_len) {
+  auto it = peers_.find(gid);
+  if (it == peers_.end() || !it->second.alive) return;
+  post_frame(it->second, hdr, body, body_len, nullptr, 0);
+}
+
 void PtlElan4::handle_local_complete(std::uint64_t id) {
   if (id == kRecycleCookie) {
     ++sendbufs_recycled_;  // a 2KB send buffer returned to the pool
@@ -816,6 +718,13 @@ void PtlElan4::handle_local_complete(std::uint64_t id) {
   }
   if (auto it = recvs_.find(id); it != recvs_.end()) {
     if (--it->second.awaiting <= 0) complete_recv(id, it->second);
+    return;
+  }
+  if (auto it = pulls_.find(id); it != pulls_.end()) {
+    StripePull sp = std::move(it->second);
+    pulls_.erase(it);
+    device_->unmap(sp.dst_addr);
+    if (sp.done) sp.done(Status::kOk);
     return;
   }
   log::warn(name_, "completion for unknown op ", id);
@@ -840,10 +749,10 @@ void PtlElan4::handle_frame(elan4::QdmaQueue::Slot&& slot) {
   if (opts_.reliability && hdr.src_gid != pml_.ctx().gid) {
     auto pit = peers_.find(hdr.src_gid);
     if (pit != peers_.end() && pit->second.alive)
-      handle_peer_ack(pit->second, hdr.ack_seq);
+      pit->second.stream->harvest_ack(hdr.ack_seq);
     if ((hdr.flags & pml::kFlagControl) == 0) {
       if (pit == peers_.end()) return;
-      if (!admit_frame(pit->second, hdr, slot.data)) return;
+      if (!pit->second.stream->admit(hdr, slot.data)) return;
       // Strip the CRC trailer before normal parsing.
       slot.data.resize(slot.data.size() - 4);
     }
@@ -851,7 +760,8 @@ void PtlElan4::handle_frame(elan4::QdmaQueue::Slot&& slot) {
 
   switch (hdr.kind) {
     case FragKind::kEager:
-    case FragKind::kRendezvous: {
+    case FragKind::kRendezvous:
+    case FragKind::kRendezvousStriped: {
       // Traffic from a peer we thought was gone means it migrated or
       // rejoined: re-resolve its (new) contact so replies can flow.
       auto pit = peers_.find(hdr.src_gid);
@@ -866,14 +776,15 @@ void PtlElan4::handle_frame(elan4::QdmaQueue::Slot&& slot) {
         RdvBody body;
         std::memcpy(&body, slot.data.data() + off, sizeof(body));
         off += sizeof(body);
-        for (int r = 0; r < kMaxRails; ++r) frag->src_addr[r] = body.src_addr[r];
+        frag->src_addr = body.src_addr;
         frag->send_cookie = hdr.cookie;
         frag->data_crc = static_cast<std::uint32_t>(body.data_crc);
       }
+      // kRendezvousStriped carries the BML's stripe map as inline_data.
       frag->inline_data.assign(slot.data.begin() + static_cast<std::ptrdiff_t>(off),
                                slot.data.end());
       if (opts_.use_dtype_engine)
-        devices_[0]->compute(net_.params().dtype_engine_startup_ns);
+        device_->compute(net_.params().dtype_engine_startup_ns);
       pml_.incoming_first(std::move(frag));
       break;
     }
@@ -888,6 +799,9 @@ void PtlElan4::handle_frame(elan4::QdmaQueue::Slot&& slot) {
       break;
     case FragKind::kFinAck:
       handle_fin_ack(hdr);
+      break;
+    case FragKind::kStripeFin:
+      pml_.bml().handle_stripe_fin(hdr);
       break;
     case FragKind::kComplete:
       handle_local_complete(hdr.cookie);
@@ -915,14 +829,18 @@ int PtlElan4::poll_direct() {
   if (poll_list_.empty()) return 0;
   int n = 0;
   std::vector<std::uint64_t> ready;
-  for (auto it = poll_list_.begin(); it != poll_list_.end();) {
-    devices_[0]->charge_poll();
-    if (it->second->done()) {
-      ready.push_back(it->first);
-      it = poll_list_.erase(it);
+  // charge_poll() suspends this fiber while the CPU cost is charged, and
+  // other fibers (the BML stripe watchdog re-issuing or cancelling pulls)
+  // mutate poll_list_ in that window — so never hold an iterator across it.
+  for (std::size_t i = 0; i < poll_list_.size();) {
+    device_->charge_poll();
+    if (i >= poll_list_.size()) break;  // list shrank while suspended
+    if (poll_list_[i].second->done()) {
+      ready.push_back(poll_list_[i].first);
+      poll_list_.erase(poll_list_.begin() + static_cast<std::ptrdiff_t>(i));
       ++n;
     } else {
-      ++it;
+      ++i;
     }
   }
   for (std::uint64_t id : ready) handle_local_complete(id);
@@ -932,12 +850,12 @@ int PtlElan4::poll_direct() {
 int PtlElan4::progress() {
   int n = 0;
   elan4::QdmaQueue::Slot slot;
-  while (devices_[0]->queue_poll(recv_q_, &slot)) {
+  while (device_->queue_poll(recv_q_, &slot)) {
     handle_frame(std::move(slot));
     ++n;
   }
   if (comp_q_ != nullptr) {
-    while (devices_[0]->queue_poll(comp_q_, &slot)) {
+    while (device_->queue_poll(comp_q_, &slot)) {
       handle_frame(std::move(slot));
       ++n;
     }
@@ -951,7 +869,7 @@ int PtlElan4::progress_blocking() {
   // interrupt (every completion funnels there in interrupt mode).
   int n = progress();
   if (n > 0) return n;
-  devices_[0]->queue_wait(recv_q_);
+  device_->queue_wait(recv_q_);
   return progress();
 }
 
@@ -966,10 +884,10 @@ void PtlElan4::start_threads() {
   const sim::Time spin_ns = 12 * sim::kUs;
   auto loop = [this, spin_ns, &engine](elan4::QdmaQueue* q, bool spin) {
     while (!stopping_) {
-      devices_[0]->queue_wait(q);
+      device_->queue_wait(q);
       elan4::QdmaQueue::Slot slot;
       if (!spin) {
-        while (devices_[0]->queue_poll(q, &slot)) handle_frame(std::move(slot));
+        while (device_->queue_poll(q, &slot)) handle_frame(std::move(slot));
         continue;
       }
       // Fixed spin window from the wakeup: follow-up events of the exchange
@@ -977,7 +895,7 @@ void PtlElan4::start_threads() {
       // the next inbound message pays one interrupt.
       const sim::Time woke = engine.now();
       while (!stopping_ && engine.now() - woke < spin_ns) {
-        while (devices_[0]->queue_poll(q, &slot)) handle_frame(std::move(slot));
+        while (device_->queue_poll(q, &slot)) handle_frame(std::move(slot));
       }
     }
     --live_threads_;
@@ -996,9 +914,9 @@ void PtlElan4::send_self(FragKind kind) {
   hdr.src_gid = hdr.dst_gid = pml_.ctx().gid;
   std::vector<std::uint8_t> frame(sizeof(MatchHeader));
   std::memcpy(frame.data(), &hdr, sizeof(MatchHeader));
-  devices_[0]->post_qdma(devices_[0]->vpid(), recv_q_->id(), frame);
+  device_->post_qdma(device_->vpid(), recv_q_->id(), frame);
   if (comp_q_ != nullptr)
-    devices_[0]->post_qdma(devices_[0]->vpid(), comp_q_->id(), frame);
+    device_->post_qdma(device_->vpid(), comp_q_->id(), frame);
 }
 
 void PtlElan4::finalize() {
@@ -1007,8 +925,9 @@ void PtlElan4::finalize() {
   sim::Engine& engine = net_.engine();
 
   // Quiesce: pending messages must complete before teardown (§4.1), so no
-  // leftover DMA descriptor can regenerate traffic.
-  while (!sends_.empty() || !recvs_.empty()) {
+  // leftover DMA descriptor can regenerate traffic. Stripe pulls count: the
+  // BML cancels the doomed ones before it lets the rails finalize.
+  while (!sends_.empty() || !recvs_.empty() || !pulls_.empty()) {
     if (threaded())
       engine.sleep(net_.params().host_poll_ns * 10);
     else
@@ -1056,7 +975,7 @@ void PtlElan4::finalize() {
   // Disarm the reliability timers: any already-scheduled callback sees the
   // cleared token and no-ops instead of touching a closed device.
   *alive_ = false;
-  for (auto& dev : devices_) dev->close();
+  device_->close();
 }
 
 }  // namespace oqs::ptl_elan4

@@ -1,6 +1,6 @@
 // PTL/Elan4 — the paper's contribution.
 //
-// Point-to-point transport over the Elan4 NIC:
+// Point-to-point transport over ONE Elan4 NIC rail:
 //  * eager messages (<= 1984 B payload after the 64 B match header) ride
 //    QDMA into the peer's host receive queue, from preallocated 2 KB send
 //    buffers;
@@ -13,38 +13,58 @@
 //  * progress is polled, interrupt-driven, or carried by one or two
 //    progress threads (Table 1).
 //
+// Multirail is layered ABOVE this module: the runtime instantiates one
+// PtlElan4 per rail ("elan4", "elan4.1", ...) and the BML stripes long
+// payloads across them through the stripe_* hooks. Loss protection lives in
+// ptl::ReliableStream (one per endpoint); this file only wires the streams
+// to QDMA and runs the shared scan timers.
+//
 // Dynamic joins: each module claims an Elan context at construction and
 // releases it at finalize; peers come and go via add_peer/remove_peer with
 // contact info from the RTE registry.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "elan4/device.h"
 #include "elan4/qsnet.h"
+#include "pml/endpoint.h"
 #include "pml/pml.h"
 #include "pml/ptl.h"
 #include "ptl/elan4/options.h"
+#include "ptl/reliable_stream.h"
 
 namespace oqs::ptl_elan4 {
 
-inline constexpr int kMaxRails = 2;
-
 // First-fragment state carried from the wire into the match (adds the
-// sender's exposed addresses for the RDMA-read scheme).
+// sender's exposed address for the RDMA-read scheme).
 struct ElanFirstFrag final : pml::FirstFrag {
-  elan4::E4Addr src_addr[kMaxRails] = {};
+  elan4::E4Addr src_addr = elan4::kNullE4Addr;
   std::uint64_t send_cookie = 0;
   std::uint32_t data_crc = 0;  // reliability: CRC32C of the remainder
 };
 
+// Per-peer connection state on this rail: network identity plus (in
+// reliability mode) the go-back-N stream guarding the frame sequence.
+struct Elan4Endpoint final : pml::Endpoint {
+  elan4::Vpid vpid = elan4::kInvalidVpid;
+  int recv_queue = -1;
+  std::unique_ptr<ptl::ReliableStream> stream;
+
+  std::size_t window_in_use() const override {
+    return stream != nullptr ? stream->window_in_use() : 0;
+  }
+};
+
 class PtlElan4 final : public pml::Ptl {
  public:
-  PtlElan4(pml::Pml& pml, elan4::QsNet& net, int node, Options opts);
+  PtlElan4(pml::Pml& pml, elan4::QsNet& net, int node, Options opts,
+           int rail = 0, std::string name = "elan4");
   ~PtlElan4() override;
 
   // --- pml::Ptl ---
@@ -54,10 +74,13 @@ class PtlElan4 final : public pml::Ptl {
     return opts_.reliability ? 1980 : 1984;
   }
   double bandwidth_weight() const override;
+  double latency_ns() const override;
   std::vector<std::uint8_t> contact() const override;
   Status add_peer(int gid, const pml::ContactInfo& info) override;
   void remove_peer(int gid) override;
   bool reaches(int gid) const override;
+  pml::Endpoint* endpoint(int gid) override;
+  bool wired() const override;
   void send_first(pml::SendRequest& req, std::size_t inline_len) override;
   void matched(pml::RecvRequest& req, std::unique_ptr<pml::FirstFrag> frag) override;
   int progress() override;
@@ -65,22 +88,39 @@ class PtlElan4 final : public pml::Ptl {
     return opts_.progress == Progress::kInterrupt;
   }
   int progress_blocking() override;
-  bool active() const override { return !sends_.empty() || !recvs_.empty(); }
+  bool active() const override {
+    return !sends_.empty() || !recvs_.empty() || !pulls_.empty();
+  }
   void finalize() override;
   bool threaded() const override {
     return opts_.progress == Progress::kOneThread ||
            opts_.progress == Progress::kTwoThreads;
   }
 
+  // --- BML striping hooks ---
+  bool stripe_capable() const override { return true; }
+  bool stripe_checksummed() const override { return opts_.reliability; }
+  std::uint64_t stripe_expose(const void* base, std::size_t len) override;
+  void stripe_unexpose(std::uint64_t region) override;
+  std::uint64_t stripe_pull(int gid, std::uint64_t region, std::size_t offset,
+                            void* dst, std::size_t len,
+                            std::function<void(Status)> done) override;
+  void stripe_cancel(std::uint64_t pull_id) override;
+  void bml_post(int gid, const pml::MatchHeader& hdr, const void* body,
+                std::size_t body_len) override;
+
   const Options& options() const { return opts_; }
-  elan4::Elan4Device& device(int rail = 0) { return *devices_[rail]; }
+  int rail() const { return rail_; }
+  elan4::Elan4Device& device() { return *device_; }
   std::size_t pending_ops() const { return sends_.size() + recvs_.size(); }
-  std::uint64_t frames_dropped() const { return frames_dropped_; }
-  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t frames_dropped() const { return counters_.frames_dropped; }
+  std::uint64_t retransmissions() const { return counters_.retransmissions; }
   std::uint64_t data_retries() const { return data_retries_; }
-  std::uint64_t dup_frames() const { return dup_frames_; }
-  std::uint64_t rtx_timeouts() const { return rtx_timeouts_; }
-  std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t dup_frames() const { return counters_.dup_frames; }
+  std::uint64_t rtx_timeouts() const { return counters_.rtx_timeouts; }
+  std::uint64_t acks_sent() const { return counters_.acks_sent; }
+  // Bytes this rail pushed onto the wire (bench per-rail breakdown).
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
   // Unacked + backlogged sequenced frames toward gid (bounded-memory tests).
   std::size_t outstanding_frames(int gid) const {
     auto it = peers_.find(gid);
@@ -88,49 +128,13 @@ class PtlElan4 final : public pml::Ptl {
   }
 
  private:
-  // A built-but-unposted sequenced frame (window closed at build time).
-  struct QueuedFrame {
-    std::vector<std::uint8_t> frame;
-    elan4::E4Event* recycle = nullptr;
-  };
-
-  struct Peer {
-    elan4::Vpid vpid[kMaxRails];
-    int recv_queue = -1;
-    bool alive = true;
-    // --- Reliability state (ack-clocked go-back-N over the frame stream).
-    // Sender side: sent_log holds every posted-but-unacknowledged frame,
-    // contiguous sequences [log_base, log_base + sent_log.size()); frames
-    // built while the window is full wait in tx_backlog with their
-    // sequences already assigned, so wire order always matches sequence
-    // order. Pruning happens only on acknowledgement — never by size.
-    std::uint16_t tx_seq = 0;       // last frame sequence assigned
-    std::uint16_t log_base = 1;     // sequence of sent_log.front()
-    std::deque<std::vector<std::uint8_t>> sent_log;
-    std::deque<QueuedFrame> tx_backlog;
-    int rtx_backoff = 0;            // consecutive unproductive timeouts
-    sim::Time rtx_deadline = 0;     // retransmit if no ack progress by then
-    // Receiver side: cumulative-ack bookkeeping.
-    std::uint16_t rx_expected = 1;  // next frame sequence accepted
-    std::uint16_t last_acked = 0;   // last rx sequence acknowledged back
-    int unacked_rx = 0;             // admitted frames since the last ack
-    // Rate limiting (one recovery round per loss event, not a storm).
-    std::uint16_t last_nack_seq = 0;
-    sim::Time last_nack_time = 0;
-    sim::Time last_reack_time = 0;
-
-    std::size_t window_in_use() const {
-      return sent_log.size() + tx_backlog.size();
-    }
-  };
-
   // Long-message sender state.
   struct PendingSend {
     pml::SendRequest* req = nullptr;
     std::size_t rest = 0;
     const char* src_ptr = nullptr;  // rest region (user buffer or staging)
-    elan4::E4Addr src_addr[kMaxRails] = {};
-    std::vector<elan4::E4Event*> events;  // write scheme: one per rail
+    elan4::E4Addr src_addr = elan4::kNullE4Addr;
+    std::vector<elan4::E4Event*> events;  // write scheme
     int gid = -1;
     int awaiting = 0;  // outstanding local RDMA completions
     bool fin_needed = false;  // write scheme without chaining
@@ -143,52 +147,48 @@ class PtlElan4 final : public pml::Ptl {
     std::size_t rest = 0;
     char* dst_ptr = nullptr;
     bool staged = false;
-    elan4::E4Addr dst_addr[kMaxRails] = {};
-    std::vector<elan4::E4Event*> events;  // read scheme: one per rail
+    elan4::E4Addr dst_addr = elan4::kNullE4Addr;
+    std::vector<elan4::E4Event*> events;  // read scheme
     int gid = -1;
     int awaiting = 0;  // outstanding local RDMA completions
     std::uint64_t send_cookie = 0;
     bool finack_needed = false;  // read scheme without chaining
-    // Reliability: enough to verify and re-issue the reads.
-    elan4::E4Addr src_remote[kMaxRails] = {};
-    int rails_used = 0;
+    // Reliability: enough to verify and re-issue the read.
+    elan4::E4Addr src_remote = elan4::kNullE4Addr;
     std::uint32_t expect_crc = 0;
     int retries = 0;
   };
 
+  // BML stripe pull in flight (RDMA read into a mapped slice).
+  struct StripePull {
+    elan4::E4Addr dst_addr = elan4::kNullE4Addr;
+    elan4::E4Event* event = nullptr;
+    std::function<void(Status)> done;
+  };
+
   // Wire frame bodies (after the 64 B MatchHeader).
   struct RdvBody {
-    elan4::E4Addr src_addr[kMaxRails];
+    elan4::E4Addr src_addr;
     std::uint64_t data_crc;  // reliability: CRC32C of the remainder
   };
   struct AckBody {
     std::uint64_t recv_cookie;
-    elan4::E4Addr dst_addr[kMaxRails];
+    elan4::E4Addr dst_addr;
   };
 
-  void post_frame(Peer& peer, const pml::MatchHeader& hdr, const void* body,
-                  std::size_t body_len, const void* payload, std::size_t payload_len);
-  // Reliability helpers.
+  void post_frame(Elan4Endpoint& peer, const pml::MatchHeader& hdr,
+                  const void* body, std::size_t body_len, const void* payload,
+                  std::size_t payload_len);
   void charge_crc(std::size_t bytes);
-  // Verify the trailer and enforce per-peer ordering; false = drop frame.
-  bool admit_frame(Peer& peer, const pml::MatchHeader& hdr,
-                   const std::vector<std::uint8_t>& frame);
-  void send_nack(int gid, Peer& peer);
+  // Build the per-endpoint go-back-N stream (reliability mode).
+  std::unique_ptr<ptl::ReliableStream> make_stream(int gid);
+  void send_nack(int gid);
   void handle_nack(const pml::MatchHeader& hdr);
   // Put one already-sequenced frame on the wire (lossy-classed QDMA).
-  void post_wire(Peer& peer, const std::vector<std::uint8_t>& frame,
+  void post_wire(Elan4Endpoint& peer, const std::vector<std::uint8_t>& frame,
                  elan4::E4Event* recycle);
-  // Cumulative-ack intake: prune sent_log through `ack_seq`, then post
-  // backlogged frames into the opened window.
-  void handle_peer_ack(Peer& peer, std::uint16_t ack_seq);
-  void drain_backlog(Peer& peer);
-  // Resend sent_log[offset..], up to `max_frames`, charging CRC like first
-  // transmissions.
-  void retransmit_from(Peer& peer, std::size_t offset, std::size_t max_frames);
-  // Receiver-side ack generation: explicit kFrameAck control frame now, or
-  // count/arm toward one (ack_every / ack_delay_ns).
-  void send_frame_ack(int gid, Peer& peer);
-  void note_admitted(int gid, Peer& peer);
+  // Receiver-side ack generation: explicit kFrameAck control frame.
+  void send_frame_ack(int gid);
   void flush_acks();
   // One-shot scan timers (token-guarded; re-armed only while state exists).
   void arm_rtx_timer(sim::Time deadline);
@@ -196,17 +196,15 @@ class PtlElan4 final : public pml::Ptl {
   void rtx_fire();
   void ack_fire();
   // Block the calling (application) fiber until gid's window has room.
-  Peer* wait_for_window(int gid);
-  // Issue (or re-issue) the RDMA reads for a pending receive.
-  void issue_reads(std::uint64_t id, PendingRecv& op);
+  Elan4Endpoint* wait_for_window(int gid);
+  // Issue (or re-issue) the RDMA read for a pending receive.
+  void issue_read(std::uint64_t id, PendingRecv& op);
   void handle_frame(elan4::QdmaQueue::Slot&& slot);
   void handle_ack(const pml::MatchHeader& hdr, const AckBody& body);
   void handle_fin(const pml::MatchHeader& hdr);
   void handle_fin_ack(const pml::MatchHeader& hdr);
   void handle_local_complete(std::uint64_t id);
 
-  // Split `rest` across rails; rail 0 takes the remainder.
-  std::size_t rail_share(std::size_t rest, int rail) const;
   void complete_send(std::uint64_t id, PendingSend& op);
   void complete_recv(std::uint64_t id, PendingRecv& op);
   // Attach completion plumbing (chained QDMAs / poll registration) to an
@@ -220,26 +218,26 @@ class PtlElan4 final : public pml::Ptl {
   pml::Pml& pml_;
   elan4::QsNet& net_;
   int node_;
+  int rail_;
   Options opts_;
-  std::string name_ = "elan4";
-  std::vector<std::unique_ptr<elan4::Elan4Device>> devices_;
+  std::string name_;
+  ptl::ReliableTuning rtuning_;    // referenced by every endpoint's stream
+  ptl::ReliableCounters counters_; // shared across this rail's streams
+  std::unique_ptr<elan4::Elan4Device> device_;
   elan4::QdmaQueue* recv_q_ = nullptr;
   elan4::QdmaQueue* comp_q_ = nullptr;  // Two-Queue variant
-  std::map<int, Peer> peers_;
+  std::map<int, Elan4Endpoint> peers_;
   std::map<std::uint64_t, PendingSend> sends_;
   std::map<std::uint64_t, PendingRecv> recvs_;
+  std::map<std::uint64_t, StripePull> pulls_;
   // Ops with events to poll in kDirectPoll mode: (op id, event).
   std::vector<std::pair<std::uint64_t, elan4::E4Event*>> poll_list_;
   std::uint64_t next_id_ = 1;
   std::uint64_t sendbufs_recycled_ = 0;
+  std::uint64_t tx_bytes_ = 0;
   // Local event attached to the next post_frame (send-buffer recycling).
   elan4::E4Event* recycle_event_ = nullptr;
-  std::uint64_t frames_dropped_ = 0;   // bad CRC or out-of-sequence
-  std::uint64_t retransmissions_ = 0;  // frames resent (NACK or timeout)
-  std::uint64_t data_retries_ = 0;     // rendezvous payload re-reads
-  std::uint64_t dup_frames_ = 0;       // duplicates suppressed
-  std::uint64_t rtx_timeouts_ = 0;     // retransmission-timer expiries
-  std::uint64_t acks_sent_ = 0;        // explicit kFrameAck frames
+  std::uint64_t data_retries_ = 0;  // rendezvous payload re-reads
   bool stopping_ = false;
   bool finalized_ = false;
   int live_threads_ = 0;

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "base/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rte/oob.h"
 
 namespace oqs::ptl_tcp {
@@ -11,8 +13,8 @@ namespace oqs::ptl_tcp {
 using pml::FragKind;
 using pml::MatchHeader;
 
-PtlTcp::PtlTcp(pml::Pml& pml, elan4::QsNet& net, int node)
-    : pml_(pml), net_(net), node_(node) {
+PtlTcp::PtlTcp(pml::Pml& pml, elan4::QsNet& net, int node, bool reliability)
+    : pml_(pml), net_(net), node_(node), reliability_(reliability) {
   addr_ = net_.eth().attach(this);
 }
 
@@ -30,7 +32,11 @@ Status PtlTcp::add_peer(int gid, const pml::ContactInfo& info) {
   auto it = info.find(name_);
   if (it == info.end()) return Status::kUnreachable;
   std::size_t off = 0;
-  peers_[gid] = rte::get_pod<std::int32_t>(it->second, off);
+  TcpEndpoint& p = peers_[gid];
+  p.gid = gid;
+  p.alive = true;
+  p.addr = rte::get_pod<std::int32_t>(it->second, off);
+  p.stream = reliability_ ? make_stream(gid) : nullptr;
   return Status::kOk;
 }
 
@@ -40,14 +46,86 @@ void PtlTcp::charge_io(std::size_t bytes) {
                                  ModelParams::xfer_ns(bytes, p.tcp_copy_mbps));
 }
 
-void PtlTcp::post_frame(int peer_addr, const MatchHeader& hdr, const void* payload,
-                        std::size_t payload_len) {
-  std::vector<std::uint8_t> frame(sizeof(MatchHeader) + payload_len);
-  std::memcpy(frame.data(), &hdr, sizeof(MatchHeader));
+std::unique_ptr<ptl::ReliableStream> PtlTcp::make_stream(int gid) {
+  ptl::ReliableStream::Hooks hooks;
+  hooks.wire = [this, gid](const std::vector<std::uint8_t>& frame, void*) {
+    TcpEndpoint& peer = peers_.at(gid);
+    charge_io(frame.size());
+    tx_bytes_ += frame.size();
+    net_.eth().send(addr_, peer.addr, frame);
+  };
+  hooks.charge_crc = [this](std::size_t bytes) {
+    net_.node(node_).cpu().compute(
+        ModelParams::xfer_ns(bytes, net_.params().crc_mbps) + 40);
+  };
+  hooks.now = [this] { return net_.engine().now(); };
+  // The Ethernet model never drops a frame, so nothing ever needs the
+  // retransmission backstop — leave the timer unarmed.
+  hooks.arm_rtx = [](sim::Time) {};
+  hooks.arm_ack = [this] { arm_ack_timer(); };
+  hooks.send_nack = [] {};  // gaps cannot occur on an ordered lossless wire
+  hooks.send_ack = [this, gid] { send_frame_ack(gid); };
+  hooks.node = node_;
+  hooks.name = name_;
+  return std::make_unique<ptl::ReliableStream>(rtuning_, counters_,
+                                               std::move(hooks));
+}
+
+void PtlTcp::send_frame_ack(int gid) {
+  auto it = peers_.find(gid);
+  if (it == peers_.end()) return;
+  MatchHeader ack;
+  ack.kind = FragKind::kFrameAck;
+  ack.flags = pml::kFlagControl;
+  ack.src_gid = pml_.ctx().gid;
+  ack.dst_gid = gid;
+  ++counters_.acks_sent;
+  OQS_METRIC_INC("ptl.reliability.acks_sent");
+  post_frame(it->second, ack, nullptr, 0);
+}
+
+void PtlTcp::arm_ack_timer() {
+  if (ack_timer_armed_) return;
+  ack_timer_armed_ = true;
+  net_.engine().schedule(rtuning_.ack_delay_ns, [this, token = alive_] {
+    if (!*token) return;
+    net_.engine().spawn("tcp-ack", [this, token] {
+      if (!*token) return;
+      ack_fire();
+    });
+  });
+}
+
+void PtlTcp::ack_fire() {
+  ack_timer_armed_ = false;
+  for (auto& [gid, peer] : peers_) {
+    if (peer.stream == nullptr) continue;
+    if (peer.stream->unacked_rx() > 0) send_frame_ack(gid);
+  }
+}
+
+void PtlTcp::post_frame(TcpEndpoint& peer, const MatchHeader& hdr,
+                        const void* payload, std::size_t payload_len) {
+  const bool sequenced =
+      reliability_ && (hdr.flags & pml::kFlagControl) == 0;
+  const std::size_t trailer = sequenced ? 4 : 0;
+  std::vector<std::uint8_t> frame(sizeof(MatchHeader) + payload_len + trailer);
+  MatchHeader h = hdr;
+  if (reliability_) peer.stream->stamp_ack(h);
+  if (sequenced) {
+    h.flags |= pml::kFlagChecksummed;
+    h.frame_seq = peer.stream->assign_seq();
+  }
+  std::memcpy(frame.data(), &h, sizeof(MatchHeader));
   if (payload_len > 0)
     std::memcpy(frame.data() + sizeof(MatchHeader), payload, payload_len);
+  if (sequenced) {
+    peer.stream->submit(std::move(frame), nullptr);
+    return;
+  }
   charge_io(frame.size());
-  net_.eth().send(addr_, peer_addr, std::move(frame));
+  tx_bytes_ += frame.size();
+  net_.eth().send(addr_, peer.addr, std::move(frame));
 }
 
 void PtlTcp::send_first(pml::SendRequest& req, std::size_t inline_len) {
@@ -56,13 +134,15 @@ void PtlTcp::send_first(pml::SendRequest& req, std::size_t inline_len) {
     req.fail(Status::kUnreachable);
     return;
   }
+  OQS_TRACE_SPAN(span_, node_, "ptl", "send_first", "len", req.total_bytes());
+  TcpEndpoint& peer = pit->second;
   const std::size_t total = req.total_bytes();
 
   if (total <= eager_limit()) {
     req.hdr.kind = FragKind::kEager;
     std::vector<std::uint8_t> payload(total);
     if (total > 0) req.convertor.pack(payload.data(), total);
-    post_frame(pit->second, req.hdr, payload.data(), payload.size());
+    post_frame(peer, req.hdr, payload.data(), payload.size());
     pml_.send_progress(req, total);
     return;
   }
@@ -74,7 +154,10 @@ void PtlTcp::send_first(pml::SendRequest& req, std::size_t inline_len) {
   std::vector<std::uint8_t> payload(inline_len);
   if (inline_len > 0) req.convertor.pack(payload.data(), inline_len);
   sends_.emplace(id, PendingSend{&req, total - inline_len, req.dst_gid});
-  post_frame(pit->second, req.hdr, payload.data(), payload.size());
+  OQS_METRIC_INC("ptl.rdv.started");
+  OQS_TRACE_INSTANT(node_, "ptl", "rdv.first_frag", "cookie", id, "rest",
+                    total - inline_len);
+  post_frame(peer, req.hdr, payload.data(), payload.size());
   if (inline_len > 0) pml_.send_progress(req, inline_len);
 }
 
@@ -94,6 +177,8 @@ void PtlTcp::matched(pml::RecvRequest& req, std::unique_ptr<pml::FirstFrag> frag
   ack.aux = id;  // receiver-side cookie for the data chunks
   ack.src_gid = pml_.ctx().gid;
   ack.dst_gid = tf->hdr.src_gid;
+  OQS_TRACE_INSTANT(node_, "ptl", "rdv.ack_sent", "cookie", tf->send_cookie,
+                    "rest", tf->hdr.len - tf->inline_data.size());
   post_frame(pit->second, ack, nullptr, 0);
 }
 
@@ -105,6 +190,20 @@ void PtlTcp::handle_frame(std::vector<std::uint8_t>&& frame) {
   MatchHeader hdr;
   std::memcpy(&hdr, frame.data(), sizeof(MatchHeader));
   charge_io(frame.size());
+  OQS_TRACE_SPAN(span_, node_, "ptl", "handle_frame", "kind",
+                 static_cast<std::uint64_t>(hdr.kind));
+  OQS_METRIC_INC("ptl.frames.handled");
+
+  if (reliability_ && hdr.src_gid != pml_.ctx().gid) {
+    auto pit = peers_.find(hdr.src_gid);
+    if (pit != peers_.end() && pit->second.stream != nullptr)
+      pit->second.stream->harvest_ack(hdr.ack_seq);
+    if ((hdr.flags & pml::kFlagControl) == 0) {
+      if (pit == peers_.end() || pit->second.stream == nullptr) return;
+      if (!pit->second.stream->admit(hdr, frame)) return;
+      frame.resize(frame.size() - 4);  // strip the CRC trailer
+    }
+  }
 
   switch (hdr.kind) {
     case FragKind::kEager:
@@ -125,7 +224,7 @@ void PtlTcp::handle_frame(std::vector<std::uint8_t>&& frame) {
       }
       PendingSend op = it->second;
       sends_.erase(it);
-      const int peer_addr = peers_.at(op.gid);
+      TcpEndpoint& peer = peers_.at(op.gid);
       const std::uint32_t chunk = net_.params().tcp_chunk;
       std::size_t off = 0;
       std::vector<std::uint8_t> buf;
@@ -140,9 +239,12 @@ void PtlTcp::handle_frame(std::vector<std::uint8_t>&& frame) {
         data.len = part;
         data.src_gid = pml_.ctx().gid;
         data.dst_gid = op.gid;
-        post_frame(peer_addr, data, buf.data(), part);
+        post_frame(peer, data, buf.data(), part);
         off += part;
       }
+      OQS_METRIC_INC("ptl.rdv.send_done");
+      OQS_TRACE_INSTANT(node_, "ptl", "rdv.send_done", "cookie", hdr.cookie,
+                        "rest", op.rest);
       pml_.send_progress(*op.req, op.rest);
       break;
     }
@@ -158,8 +260,22 @@ void PtlTcp::handle_frame(std::vector<std::uint8_t>&& frame) {
       op.req->convertor.unpack(frame.data() + sizeof(MatchHeader), part);
       op.remaining -= part;
       pml::RecvRequest* req = op.req;
-      if (op.remaining == 0) recvs_.erase(it);
+      if (op.remaining == 0) {
+        recvs_.erase(it);
+        OQS_METRIC_INC("ptl.rdv.recv_done");
+        OQS_TRACE_INSTANT(node_, "ptl", "rdv.recv_done", "cookie", hdr.cookie,
+                          "rest", part);
+      }
       pml_.recv_progress(*req, part);
+      break;
+    }
+    case FragKind::kFrameAck:
+      break;  // pure ack carrier: consumed by the gate above
+    case FragKind::kGoodbye: {
+      // The peer tore down (finalize or migration): stop addressing its
+      // socket. A later send re-resolves fresh contact info lazily.
+      auto pit = peers_.find(hdr.src_gid);
+      if (pit != peers_.end()) pit->second.alive = false;
       break;
     }
     default:
@@ -187,6 +303,36 @@ void PtlTcp::finalize() {
   while (!sends_.empty() || !recvs_.empty()) {
     if (progress() == 0) net_.engine().sleep(net_.params().host_poll_ns * 4);
   }
+  if (reliability_) {
+    // Flush cumulative acks so peers can prune, then wait for our own
+    // frames to be acknowledged before the endpoint detaches.
+    for (auto& [gid, peer] : peers_) {
+      if (peer.stream != nullptr && peer.stream->unacked_rx() > 0)
+        send_frame_ack(gid);
+    }
+    auto outstanding = [this] {
+      for (auto& [gid, peer] : peers_)
+        if (peer.window_in_use() > 0) return true;
+      return false;
+    };
+    while (outstanding()) {
+      if (progress() == 0) net_.engine().sleep(net_.params().host_poll_ns * 4);
+    }
+  }
+  // Tell peers we are leaving so they stop addressing this socket (a send
+  // to a detached address drops silently — a migrated peer would hang).
+  for (auto& [gid, peer] : peers_) {
+    if (!peer.alive) continue;
+    MatchHeader bye;
+    bye.kind = FragKind::kGoodbye;
+    bye.flags = pml::kFlagControl;
+    bye.src_gid = pml_.ctx().gid;
+    bye.dst_gid = gid;
+    post_frame(peer, bye, nullptr, 0);
+  }
+  // Let the in-flight goodbyes land before the endpoint detaches.
+  net_.engine().sleep(net_.params().eth_latency_ns * 2);
+  *alive_ = false;
   net_.eth().detach(addr_);
 }
 

@@ -6,6 +6,12 @@
 // plus in-order data chunks. Exists (a) as the semantic contrast the paper
 // draws — poll/select progress, copies, OS overhead — and (b) to exercise
 // concurrent multi-network scheduling in the PML.
+//
+// The shared go-back-N framing (ptl::ReliableStream) can be layered on per
+// construction flag. The Ethernet model is lossless, so this never
+// retransmits; it exercises the framing component — sequencing, CRC
+// trailers, cumulative acks opening the send window — on a second
+// transport.
 #pragma once
 
 #include <cstdint>
@@ -16,8 +22,10 @@
 
 #include "elan4/qsnet.h"
 #include "net/ethernet.h"
+#include "pml/endpoint.h"
 #include "pml/pml.h"
 #include "pml/ptl.h"
+#include "ptl/reliable_stream.h"
 
 namespace oqs::ptl_tcp {
 
@@ -25,24 +33,57 @@ struct TcpFirstFrag final : pml::FirstFrag {
   std::uint64_t send_cookie = 0;
 };
 
+// Per-peer connection state: Ethernet address plus (with reliability on)
+// the framing stream.
+struct TcpEndpoint final : pml::Endpoint {
+  int addr = -1;
+  std::unique_ptr<ptl::ReliableStream> stream;
+
+  std::size_t window_in_use() const override {
+    return stream != nullptr ? stream->window_in_use() : 0;
+  }
+};
+
 class PtlTcp final : public pml::Ptl, private net::EthNet::Sink {
  public:
-  PtlTcp(pml::Pml& pml, elan4::QsNet& net, int node);
+  PtlTcp(pml::Pml& pml, elan4::QsNet& net, int node, bool reliability = false);
   ~PtlTcp() override;
 
   const std::string& name() const override { return name_; }
   std::size_t eager_limit() const override { return net_.params().tcp_eager; }
   double bandwidth_weight() const override { return net_.params().tcp_wire_mbps; }
+  double latency_ns() const override {
+    // One-way small-frame estimate: syscall + stack + wire propagation.
+    const ModelParams& p = net_.params();
+    return static_cast<double>(p.syscall_ns + p.tcp_stack_ns + p.eth_latency_ns);
+  }
   std::vector<std::uint8_t> contact() const override;
   Status add_peer(int gid, const pml::ContactInfo& info) override;
   void remove_peer(int gid) override { peers_.erase(gid); }
-  bool reaches(int gid) const override { return peers_.count(gid) > 0; }
+  bool reaches(int gid) const override {
+    auto it = peers_.find(gid);
+    return it != peers_.end() && it->second.alive;
+  }
+  pml::Endpoint* endpoint(int gid) override {
+    auto it = peers_.find(gid);
+    return it == peers_.end() ? nullptr : &it->second;
+  }
+  bool wired() const override {
+    for (const auto& [gid, peer] : peers_)
+      if (peer.alive) return true;
+    return false;
+  }
   void send_first(pml::SendRequest& req, std::size_t inline_len) override;
   void matched(pml::RecvRequest& req, std::unique_ptr<pml::FirstFrag> frag) override;
   int progress() override;
+  bool active() const override { return !sends_.empty() || !recvs_.empty(); }
   void finalize() override;
 
   std::size_t pending_ops() const { return sends_.size() + recvs_.size(); }
+  bool reliability() const { return reliability_; }
+  std::uint64_t acks_sent() const { return counters_.acks_sent; }
+  std::uint64_t frames_dropped() const { return counters_.frames_dropped; }
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
 
  private:
   struct PendingSend {
@@ -59,21 +100,31 @@ class PtlTcp final : public pml::Ptl, private net::EthNet::Sink {
   // net::EthNet::Sink — frames land in the kernel-side inbox.
   void eth_deliver(int src_addr, std::vector<std::uint8_t> frame) override;
 
-  void post_frame(int peer_addr, const pml::MatchHeader& hdr, const void* payload,
-                  std::size_t payload_len);
+  std::unique_ptr<ptl::ReliableStream> make_stream(int gid);
+  void send_frame_ack(int gid);
+  void arm_ack_timer();
+  void ack_fire();
+  void post_frame(TcpEndpoint& peer, const pml::MatchHeader& hdr,
+                  const void* payload, std::size_t payload_len);
   void handle_frame(std::vector<std::uint8_t>&& frame);
   void charge_io(std::size_t bytes);
 
   pml::Pml& pml_;
   elan4::QsNet& net_;
   int node_;
+  bool reliability_;
   std::string name_ = "tcp";
   int addr_ = -1;
-  std::map<int, int> peers_;  // gid -> eth address
+  ptl::ReliableTuning rtuning_;
+  ptl::ReliableCounters counters_;
+  std::map<int, TcpEndpoint> peers_;
   std::map<std::uint64_t, PendingSend> sends_;
   std::map<std::uint64_t, PendingRecv> recvs_;
   std::deque<std::vector<std::uint8_t>> inbox_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t tx_bytes_ = 0;
+  bool ack_timer_armed_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   bool finalized_ = false;
 };
 

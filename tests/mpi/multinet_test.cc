@@ -138,6 +138,7 @@ TEST(MultiNet, MultirailImprovesBandwidth) {
     mpi::Options opts;
     opts.elan4.rails = rails;
     TestBed bed(8, 2);
+    bed.pin_transport = true;  // explicit 1-rail vs 2-rail comparison
     double mbps = 0;
     bed.run_mpi(2, [&](mpi::World& w) {
       auto& c = w.comm();

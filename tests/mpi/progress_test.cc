@@ -81,6 +81,9 @@ TEST(Progress, LatencyOrderingAcrossModes) {
     opts.elan4.progress = mode;
     opts.elan4.scheme = ptl_elan4::Scheme::kRdmaRead;
     TestBed bed;
+    // The interrupt/thread cost ladder only exists when the sole wired PTL
+    // can block; a second rail or the TCP PTL forces polling in wait().
+    bed.pin_transport = true;
     double us = 0;
     bed.run_mpi(2, [&](mpi::World& w) {
       auto& c = w.comm();

@@ -74,6 +74,9 @@ TEST(Reliability, RendezvousPayloadRecoversByRereading) {
   mpi::Options o = reliable();
   o.elan4.max_data_retries = 25;  // survive an aggressive corruption rate
   TestBed bed;
+  // Asserts the PTL's data_retries counter, which the BML's striped path
+  // (with its own per-stripe CRC re-pulls) would bypass under 2 rails.
+  bed.pin_transport = true;
   bed.net->set_corruption(0.04, /*seed=*/5);
   std::uint64_t retries = 0;
   bed.run_mpi(2, [&](mpi::World& w) {

@@ -285,5 +285,67 @@ TEST_F(PmlFixture, RoundRobinAlternatesPtls) {
   });
 }
 
+// A blocking-capable rail whose completions only ever surface from
+// progress_blocking() — polling it yields nothing.
+class BlockingMockPtl final : public Ptl {
+ public:
+  explicit BlockingMockPtl(std::string name) : name_(std::move(name)) {}
+
+  Request* target = nullptr;  // completed on the first blocking wait
+  bool wired_v = true;
+  int progress_calls = 0;
+  int blocking_calls = 0;
+
+  const std::string& name() const override { return name_; }
+  std::size_t eager_limit() const override { return 1 << 20; }
+  double bandwidth_weight() const override { return 1.0; }
+  std::vector<std::uint8_t> contact() const override { return {}; }
+  Status add_peer(int, const ContactInfo&) override { return Status::kOk; }
+  void remove_peer(int) override {}
+  bool reaches(int) const override { return true; }
+  bool wired() const override { return wired_v; }
+  bool blocking_capable() const override { return true; }
+  void send_first(SendRequest&, std::size_t) override {}
+  void matched(RecvRequest&, std::unique_ptr<FirstFrag>) override {}
+  int progress() override {
+    ++progress_calls;
+    return 0;
+  }
+  int progress_blocking() override {
+    ++blocking_calls;
+    if (target != nullptr && !target->complete()) target->finish(Status::kOk);
+    return 1;
+  }
+  void finalize() override {}
+
+ private:
+  std::string name_;
+};
+
+TEST_F(PmlFixture, WaitBlocksOnSoleWiredBlockingRail) {
+  // Two PTL modules are constructed, but only one has live endpoints: the
+  // blocking gate counts *wired* rails, so the dormant module must not
+  // force the wait into its polling loop. (The old single-PTL gate would
+  // spin on progress() forever here.)
+  in_fiber([&] {
+    ProcessCtx c{&engine, &cpu, &params, /*gid=*/0};
+    Pml p(c);
+    auto irq = std::make_unique<BlockingMockPtl>("irq");
+    auto dormant = std::make_unique<BlockingMockPtl>("dormant");
+    dormant->wired_v = false;
+    BlockingMockPtl* b = irq.get();
+    p.add_ptl(std::move(irq));
+    p.add_ptl(std::move(dormant));
+
+    std::uint32_t sink = 0;
+    RecvRequest rr(engine, dtype::byte_type(), &sink, 4);
+    b->target = &rr;
+    p.wait(rr);
+    EXPECT_TRUE(rr.complete());
+    EXPECT_EQ(b->blocking_calls, 1);
+    EXPECT_LE(b->progress_calls, 2);
+  });
+}
+
 }  // namespace
 }  // namespace oqs::pml

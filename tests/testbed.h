@@ -2,6 +2,7 @@
 // plus helpers to run MPI programs on it.
 #pragma once
 
+#include <cstdlib>
 #include <functional>
 #include <memory>
 
@@ -9,13 +10,35 @@
 
 namespace oqs::test {
 
+// CI variation hooks. Tests that leave the relevant mpi::Options at their
+// defaults pick these up, so one build can run the whole suite again as a
+// multirail and/or multi-network configuration:
+//   OQS_TEST_RAILS=N  bring up N Elan4 rails (fabric + PTL modules)
+//   OQS_TEST_TCP=1    additionally enable the TCP PTL beside Elan4
+inline int env_rails() {
+  const char* v = std::getenv("OQS_TEST_RAILS");
+  const int n = v != nullptr ? std::atoi(v) : 1;
+  return n >= 1 ? n : 1;
+}
+
+inline bool env_tcp() {
+  const char* v = std::getenv("OQS_TEST_TCP");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
 struct TestBed {
   sim::Engine engine;
   ModelParams params;
   std::unique_ptr<elan4::QsNet> net;
   std::unique_ptr<rte::Runtime> rt;
+  // Tests whose assertions depend on the exact transport configuration
+  // (1-rail vs 2-rail comparisons, single-PTL blocking ladders, PTL-level
+  // counters the striped path bypasses) set this to ignore the env hooks.
+  bool pin_transport = false;
 
-  explicit TestBed(int nodes = 8, int rails = 1) {
+  explicit TestBed(int nodes = 8, int rails = 1, ModelParams p = {})
+      : params(p) {
+    if (rails < env_rails()) rails = env_rails();
     net = std::make_unique<elan4::QsNet>(engine, params, nodes, 64, rails);
     rt = std::make_unique<rte::Runtime>(engine, *net);
   }
@@ -24,6 +47,15 @@ struct TestBed {
   // completion. Returns the final simulated time (ns).
   sim::Time run_mpi(int n, std::function<void(mpi::World&)> body,
                     mpi::Options opts = {}) {
+    // Apply the environment variation only where it cannot change what a
+    // test explicitly configured: rails need polling progress, and both
+    // knobs respect a non-default setting.
+    if (!pin_transport) {
+      if (opts.use_elan4 && opts.elan4.rails == 1 &&
+          opts.elan4.progress == ptl_elan4::Progress::kPolling)
+        opts.elan4.rails = env_rails();
+      if (opts.use_elan4 && !opts.use_tcp && env_tcp()) opts.use_tcp = true;
+    }
     auto shared = std::make_shared<std::function<void(mpi::World&)>>(std::move(body));
     rt->launch(n, [this, opts, shared](rte::Env& env) {
       mpi::World world(env, *net, opts);
