@@ -39,6 +39,9 @@ int main(int argc, char** argv) {
   read_o.elan4.scheme = ptl_elan4::Scheme::kRdmaRead;
   mpi::Options write_o;
   write_o.elan4.scheme = ptl_elan4::Scheme::kRdmaWrite;
+  // Paper-reproduction columns measure the monolithic rendezvous; the
+  // pipelined protocol has its own crossover table in bench_fig10_bandwidth.
+  read_o.pipeline_rendezvous = write_o.pipeline_rendezvous = false;
   if (ptl == "tcp") {
     read_o.use_elan4 = write_o.use_elan4 = false;
     read_o.use_tcp = write_o.use_tcp = true;
@@ -85,5 +88,26 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected (paper): MPICH lower by ~1us for small messages; all three "
       "comparable at large sizes.\n");
+
+  // Crossover: monolithic vs pipelined rendezvous latency. Eager messages
+  // (<= eager_limit) take the identical code path in both configurations;
+  // just above it the pipeline pushes the whole message behind the RTS and
+  // skips the pull round trip entirely.
+  mpi::Options pipe_o = read_o;
+  pipe_o.pipeline_rendezvous = true;
+  print_header("Crossover — monolithic vs pipelined one-way latency (us)",
+               {"monolithic", "pipelined", "ratio"});
+  for (std::size_t s : {std::size_t{0}, std::size_t{512}, std::size_t{1024},
+                        std::size_t{1984}, std::size_t{2048}, std::size_t{4096},
+                        std::size_t{8192}, std::size_t{16384},
+                        std::size_t{32768}, std::size_t{65536}}) {
+    const double mono = ompi_pingpong_us(s, read_o);
+    const double pipe = ompi_pingpong_us(s, pipe_o);
+    print_row(s, {mono, pipe, pipe / mono});
+  }
+  std::printf(
+      "\nExpected: identical through the eager limit (1984B with reliability "
+      "off); pipelined lower from 2KB (pushed payload skips the pull round "
+      "trip).\n");
   return 0;
 }

@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
     o.elan4.scheme = s;
     o.inline_rendezvous = inline_rdv;
     o.elan4.use_dtype_engine = dtp;
+    // Paper-reproduction column: the figure measures the monolithic
+    // rendezvous of §5, not the later pipelined protocol.
+    o.pipeline_rendezvous = false;
     return o;
   };
 

@@ -70,13 +70,33 @@ struct ModelParams {
   double link_mbps = 960.0;     // effective link data rate
 
   // ---- Multirail (BML striping across rails, paper §2.2) ----
-  // Rails the runtime brings up as independent PTL modules; striping kicks
-  // in for rendezvous payloads at/above stripe_min_bytes. An overdue stripe
+  // Rails the runtime brings up as independent PTL modules. The pipelined
+  // rendezvous stripes per pull fragment on every long message;
+  // stripe_min_bytes only gates the legacy whole-message split used when
+  // pipelining is disabled. An overdue stripe
   // pull (deadline = stripe_timeout_ns + 8x its modeled transfer time)
   // marks its rail suspect and fails over to a survivor.
   int num_rails = 1;
   std::size_t stripe_min_bytes = 32768;
   TimeNs stripe_timeout_ns = 50'000'000;
+
+  // ---- Pipelined rendezvous (chunked-RDMA overlap) ----
+  // Long messages split into pull fragments of pipeline_frag_bytes; at most
+  // pipeline_depth pulls are in flight per rail, and the sender pushes
+  // pipeline_push_frags eager-sized frames behind the RTS so payload is
+  // already streaming while the receiver matches. Messages no longer than
+  // one fragment are pushed whole (plan_frags folds the tail): a single
+  // pull cannot overlap anything, so its RDMA + FIN round trip only delays
+  // completion. Above that size the handshake is already amortized, so one
+  // pushed frame covers the match latency; more only adds host-copy cost
+  // (the fig10 crossover table is how these defaults were chosen).
+  // Per-fragment MMU mapping pays nic_mmu_map_page_ns per page, which the
+  // pipeline overlaps with transfer where the monolithic pull serialized it
+  // up front.
+  std::size_t pipeline_frag_bytes = 16384;
+  int pipeline_depth = 4;
+  int pipeline_push_frags = 1;
+  TimeNs nic_mmu_map_page_ns = 40;
 
   // ---- Simulated kernel TCP path (reference PTL) ----
   TimeNs syscall_ns = 1200;

@@ -32,7 +32,12 @@ E4Event* Elan4Device::alloc_event(std::string name) {
 }
 
 E4Addr Elan4Device::map(void* host, std::size_t len) {
-  compute(params().nic_mmu_lookup_ns);  // host builds the page-table entry
+  // Host builds the page-table entries: a fixed lookup-slot charge plus a
+  // per-page registration cost — the part the pipelined rendezvous overlaps
+  // with transfer by mapping one fragment while the previous one streams.
+  compute(params().nic_mmu_lookup_ns +
+          params().nic_mmu_map_page_ns *
+              static_cast<sim::Time>(Mmu::pages_for(len)));
   OQS_METRIC_INC("elan4.mmu.maps");
   OQS_TRACE_INSTANT(node_, "elan4", "mmu.map", "len", len);
   return nic().mmu(ctx_).map(host, len);

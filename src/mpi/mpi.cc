@@ -417,6 +417,10 @@ void World::open_stack() {
   pml_ = std::make_unique<pml::Pml>(ctx);
   pml_->set_sched_policy(opts_.sched);
   pml_->set_inline_rendezvous(opts_.inline_rendezvous);
+  pml_->set_pipeline_rendezvous(opts_.pipeline_rendezvous);
+  pml_->set_pipeline_frag_bytes(opts_.pipeline_frag_bytes);
+  pml_->set_pipeline_depth(opts_.pipeline_depth);
+  pml_->set_pipeline_push_frags(opts_.pipeline_push_frags);
 
   pml::ContactInfo info;
   if (opts_.use_elan4) {

@@ -50,6 +50,17 @@ struct Options {
   // Carry payload in rendezvous first fragments (paper §6.1 ablation; the
   // best configuration leaves this off on RDMA networks).
   bool inline_rendezvous = false;
+  // Pipelined rendezvous: long messages split into pipeline fragments — an
+  // inline prefix plus eager pushes ride ahead of the CTS, the remainder
+  // streams as chunked pulls overlapping registration with transfer, and
+  // fragments stripe across rails. Off = the legacy monolithic protocol
+  // (single pull; whole-message striping above stripe_min_bytes).
+  bool pipeline_rendezvous = true;
+  // Overrides for the ModelParams pipeline knobs; 0 / -1 = use ModelParams
+  // (pipeline_frag_bytes / pipeline_depth / pipeline_push_frags).
+  std::size_t pipeline_frag_bytes = 0;
+  int pipeline_depth = 0;
+  int pipeline_push_frags = -1;
 };
 
 struct RecvStatus {

@@ -15,10 +15,17 @@
 namespace oqs::pml {
 
 namespace {
-// CRC re-pulls after a stripe checksum mismatch are bounded separately from
-// the failover attempt cap: a corrupting rail gets several chances before
-// the whole receive fails.
+// CRC re-pulls after a fragment checksum mismatch are bounded separately
+// from the failover attempt cap: a corrupting rail gets several chances
+// before the whole receive fails.
 constexpr int kStripeMaxCrcRetries = 8;
+
+// Serialized schedule overhead in the RTS body (everything but the rail
+// table and the inline payload): checksummed flag, inline_len, push_len,
+// push_unit, frag_size, nfrags.
+constexpr std::size_t kScheduleFixedBytes = 1 + 8 + 8 + 4 + 8 + 4;
+
+double rail_weight(const Ptl& p) { return std::max(p.bandwidth_weight(), 1.0); }
 }  // namespace
 
 Bml::Bml(Pml& pml) : pml_(pml) {}
@@ -47,6 +54,24 @@ Ptl* Bml::find_rail(const std::string& name) const {
   for (const auto& p : ptls_)
     if (p->name() == name) return p.get();
   return nullptr;
+}
+
+std::size_t Bml::pipeline_frag_bytes() const {
+  if (frag_bytes_override_ > 0) return frag_bytes_override_;
+  const std::size_t v = pml_.ctx().params->pipeline_frag_bytes;
+  return v > 0 ? v : 16384;
+}
+
+int Bml::pipeline_depth() const {
+  const int v =
+      depth_override_ > 0 ? depth_override_ : pml_.ctx().params->pipeline_depth;
+  return v > 0 ? v : 1;
+}
+
+int Bml::pipeline_push_frags() const {
+  const int v = push_frags_override_ >= 0 ? push_frags_override_
+                                          : pml_.ctx().params->pipeline_push_frags;
+  return v > 0 ? v : 0;
 }
 
 // ------------------------------------------------------ rail selection ----
@@ -120,22 +145,63 @@ void Bml::send(SendRequest& req) {
     OQS_TRACE_INSTANT(pml_.ctx().gid, "pml", "send.rendezvous", "len",
                       req.total_bytes(), "dst",
                       static_cast<std::uint64_t>(dst_gid));
-    // Striping wants the whole payload pullable (no inline prefix) and at
-    // least two stripe-capable rails to the peer.
-    if (inline_len == 0 && try_striped(req)) return;
+    if (try_fragmented(req, ptl)) return;
   }
 
   if (pml_.probe_send_to_ptl) pml_.probe_send_to_ptl();
   ptl->send_first(req, inline_len);
 }
 
-bool Bml::try_striped(SendRequest& req) {
+bool Bml::try_fragmented(SendRequest& req, Ptl* chosen) {
   if (policy_ != SchedPolicy::kBestWeight) return false;  // RR = legacy path
   const ProcessCtx& ctx = pml_.ctx();
   const std::size_t total = req.total_bytes();
-  if (total < ctx.params->stripe_min_bytes) return false;
-  const std::vector<Ptl*> rails = stripe_rails(req.dst_gid);
-  if (rails.size() < 2) return false;
+  std::vector<Ptl*> rails = stripe_rails(req.dst_gid);
+  if (pipeline_) {
+    if (rails.empty()) return false;
+  } else {
+    // Legacy whole-message striping: engages only above the stripe
+    // threshold with at least two rails, and never composes with the
+    // single-rail inline-rendezvous prefix.
+    if (inline_rendezvous_) return false;
+    if (total < ctx.params->stripe_min_bytes || rails.size() < 2) return false;
+  }
+
+  // The chosen (best-score) rail leads: it carries the RTS, the inline
+  // prefix and the pushed fragments, and its region is first in the table
+  // so FINs prefer it.
+  if (auto it = std::find(rails.begin(), rails.end(), chosen);
+      it != rails.end())
+    std::rotate(rails.begin(), it, it + 1);
+  Ptl* primary = rails[0];
+  req.ptl = primary;
+
+  // End-to-end fragment checksums when the rails verify payloads (the
+  // receiver re-pulls a mismatching fragment).
+  const bool checksummed = primary->stripe_checksummed();
+
+  // Plan the one authoritative schedule. The RTS frame budget bounds the
+  // inline prefix: the primary's eager limit minus the serialized rail
+  // table, the schedule fields, and a worst-case CRC table.
+  std::uint64_t inline_cap = 0;
+  std::uint32_t push_frames = 0;
+  std::uint32_t push_unit = 0;
+  std::uint64_t frag_size;
+  if (pipeline_) {
+    std::size_t overhead = 4 + kScheduleFixedBytes;
+    for (Ptl* r : rails) overhead += 1 + r->name().size() + 8;
+    if (checksummed) overhead += 4 * kMaxPullFrags;
+    const std::size_t slot = primary->eager_limit();
+    inline_cap = slot > overhead ? slot - overhead : 0;
+    push_unit = static_cast<std::uint32_t>(primary->pipeline_push_unit());
+    push_frames = static_cast<std::uint32_t>(pipeline_push_frags());
+    frag_size = pipeline_frag_bytes();
+  } else {
+    frag_size = (total + rails.size() - 1) / rails.size();
+  }
+  const FragSchedule plan =
+      plan_frags(total, inline_cap, push_frames, push_unit, frag_size);
+  assert(plan.pull_base + plan.pull_len == total);
 
   // Stage non-contiguous payloads once; every rail exposes the same bytes.
   const void* src = req.buf;
@@ -146,62 +212,46 @@ bool Bml::try_striped(SendRequest& req) {
     req.convertor.pack(req.staging.data(), total);
     src = req.staging.data();
   }
+  const char* s = static_cast<const char*>(src);
 
   StripedSend op;
   op.req = &req;
   op.gid = req.dst_gid;
-  op.rest = total;
-  // Expose the WHOLE payload on EVERY rail (regions are rail-local — each
-  // NIC has its own MMU), so the receiver can pull any stripe over any
-  // surviving rail if one dies mid-transfer.
-  for (Ptl* r : rails) {
-    const std::uint64_t region = r->stripe_expose(src, total);
-    if (region == 0) {
-      for (auto& [p, reg] : op.regions) p->stripe_unexpose(reg);
-      return false;  // fall back to single-rail rendezvous
+  op.rest = plan.pull_len;
+  // Expose the WHOLE pull region on EVERY rail (regions are rail-local —
+  // each NIC has its own MMU), so the receiver can pull any fragment over
+  // any surviving rail if one dies mid-transfer. The inline/push prefix is
+  // outside the region by construction: pulls cannot re-deliver it.
+  if (plan.pull_len > 0) {
+    for (Ptl* r : rails) {
+      const std::uint64_t region = r->stripe_expose(
+          s + plan.pull_base, static_cast<std::size_t>(plan.pull_len));
+      if (region == 0) {
+        for (auto& [p, reg] : op.regions) p->stripe_unexpose(reg);
+        return false;  // fall back to single-rail rendezvous
+      }
+      op.regions.emplace_back(r, region);
     }
-    op.regions.emplace_back(r, region);
   }
 
-  // Bandwidth-weighted stripe shares; the last stripe absorbs rounding.
-  double wsum = 0.0;
-  for (Ptl* r : rails) wsum += std::max(r->bandwidth_weight(), 1.0);
-  std::vector<StripeSpec> stripes;
-  std::uint64_t off = 0;
-  for (std::size_t i = 0; i < rails.size(); ++i) {
-    std::uint64_t len;
-    if (i + 1 == rails.size()) {
-      len = total - off;
-    } else {
-      const double share = std::max(rails[i]->bandwidth_weight(), 1.0) / wsum;
-      len = static_cast<std::uint64_t>(static_cast<double>(total) * share);
-    }
-    if (len == 0) continue;
-    StripeSpec s;
-    s.rail = static_cast<std::uint32_t>(i);
-    s.offset = off;
-    s.len = len;
-    off += len;
-    stripes.push_back(s);
-  }
-  assert(off == total);
-  assert(stripes.size() <= 64 && "stripe FIN aggregation uses a 64-bit mask");
-
-  // End-to-end stripe checksums when the rails verify payloads (the
-  // receiver re-pulls a mismatching stripe).
-  const bool checksummed = rails[0]->stripe_checksummed();
-  if (checksummed) {
-    ctx.compute(ModelParams::xfer_ns(total, ctx.params->crc_mbps));
-    for (StripeSpec& s : stripes)
-      s.crc = crc32c(static_cast<const std::uint8_t*>(src) + s.offset,
-                     static_cast<std::size_t>(s.len));
+  std::vector<std::uint32_t> crcs;
+  if (checksummed && plan.nfrags > 0) {
+    ctx.compute(ModelParams::xfer_ns(plan.pull_len, ctx.params->crc_mbps));
+    crcs.resize(plan.nfrags);
+    for (std::uint32_t i = 0; i < plan.nfrags; ++i)
+      crcs[i] =
+          crc32c(reinterpret_cast<const std::uint8_t*>(s) + plan.frag_offset(i),
+                 static_cast<std::size_t>(plan.frag_bytes(i)));
   }
 
   const std::uint64_t id = next_send_id_++;
-  op.want_mask = stripes.size() == 64 ? ~0ull : (1ull << stripes.size()) - 1;
+  op.want_mask =
+      plan.nfrags >= 64 ? ~0ull : (1ull << plan.nfrags) - 1;
 
-  // Serialize the stripe map: per-rail (name, region handle), then the
-  // stripe assignments. It rides the first fragment's inline_data.
+  // Serialize the schedule: the rail table (name, region handle), then the
+  // boundary fields the receiver feeds back through derive_frags() — both
+  // sides compute fragment offsets from the same numbers — then the CRC
+  // table and the inline prefix bytes.
   std::vector<std::uint8_t> blob;
   rte::put_pod(blob, static_cast<std::uint32_t>(op.regions.size()));
   for (const auto& [r, region] : op.regions) {
@@ -211,27 +261,57 @@ bool Bml::try_striped(SendRequest& req) {
     rte::put_pod(blob, region);
   }
   rte::put_pod(blob, static_cast<std::uint8_t>(checksummed ? 1 : 0));
-  rte::put_pod(blob, static_cast<std::uint32_t>(stripes.size()));
-  for (const StripeSpec& s : stripes) {
-    rte::put_pod(blob, s.rail);
-    rte::put_pod(blob, s.offset);
-    rte::put_pod(blob, s.len);
-    rte::put_pod(blob, s.crc);
-  }
+  rte::put_pod(blob, plan.inline_len);
+  rte::put_pod(blob, plan.push_len);
+  rte::put_pod(blob, plan.push_unit);
+  rte::put_pod(blob, plan.frag_size);
+  rte::put_pod(blob, plan.nfrags);
+  for (std::uint32_t c : crcs) rte::put_pod(blob, c);
+  if (plan.inline_len > 0)
+    blob.insert(blob.end(), s, s + plan.inline_len);
 
   req.hdr.kind = FragKind::kRendezvousStriped;
   req.hdr.cookie = id;
-  Ptl* primary = rails[0];
-  ssends_.emplace(id, std::move(op));
+  if (plan.nfrags > 0) ssends_.emplace(id, std::move(op));
 
-  OQS_METRIC_INC("bml.send.striped");
-  OQS_TRACE_INSTANT(ctx.gid, "bml", "send.striped", "len", total, "rails",
-                    static_cast<std::uint64_t>(rails.size()));
+  OQS_METRIC_INC(pipeline_ ? "bml.send.pipelined" : "bml.send.striped");
+  OQS_TRACE_INSTANT(ctx.gid, "bml", "send.fragmented", "len", total, "frags",
+                    static_cast<std::uint64_t>(plan.nfrags));
   if (pml_.probe_send_to_ptl) pml_.probe_send_to_ptl();
-  // The striped first fragment is an ordinary sequenced fragment on the
+
+  // Copying the prefix into wire frames is real host work the eager path
+  // charges per-fragment; charge it once here for the inline+push bytes.
+  if (plan.pull_base > 0)
+    ctx.compute(ctx.params->host_memcpy_startup_ns +
+                ModelParams::xfer_ns(plan.pull_base,
+                                     ctx.params->host_memcpy_mbps));
+
+  // The fragmented first fragment is an ordinary sequenced fragment on the
   // primary rail: it flows through Pml::incoming_first on the receiver, so
   // per-sender arrival order is preserved across the striped path.
   primary->bml_post(req.dst_gid, req.hdr, blob.data(), blob.size());
+
+  // Eagerly push the first pipeline fragments behind the RTS: payload is
+  // already streaming while the receiver matches, which is what closes the
+  // mid-range gap against Tport's NIC-side pipelining (Fig. 10c/d). The
+  // frames ride the same sequenced stream as the RTS, so they arrive after
+  // it and are retransmitted by go-back-N like any data frame.
+  for (std::uint32_t i = 0; i < plan.push_frames(); ++i) {
+    MatchHeader ph = req.hdr;
+    ph.kind = FragKind::kPipeFrag;
+    ph.aux = plan.push_offset(i);
+    ph.len = plan.push_bytes(i);
+    OQS_METRIC_INC("bml.pipeline.push_tx");
+    primary->bml_post(req.dst_gid, ph, s + plan.push_offset(i),
+                      static_cast<std::size_t>(plan.push_bytes(i)));
+  }
+
+  // Buffered-send semantics for the prefix: those bytes are on (or queued
+  // for) the wire; the pulled remainder completes at FIN aggregation.
+  if (plan.pull_len == 0)
+    pml_.send_progress(req, total);
+  else if (plan.pull_base > 0)
+    pml_.send_progress(req, static_cast<std::size_t>(plan.pull_base));
   return true;
 }
 
@@ -248,7 +328,7 @@ void Bml::handle_stripe_fin(const MatchHeader& hdr) {
   if (hdr.status != static_cast<std::uint16_t>(Status::kOk)) op.failed = true;
   if ((op.fin_mask & op.want_mask) != op.want_mask) return;
 
-  // All stripes accounted for: one aggregated completion.
+  // All fragments accounted for: one aggregated completion.
   StripedSend done = std::move(op);
   ssends_.erase(it);
   for (auto& [rail, region] : done.regions) rail->stripe_unexpose(region);
@@ -266,6 +346,7 @@ void Bml::handle_stripe_fin(const MatchHeader& hdr) {
 void Bml::matched_striped(RecvRequest& req, std::unique_ptr<FirstFrag> frag) {
   const std::vector<std::uint8_t>& blob = frag->inline_data;
   std::size_t off = 0;
+  const ProcessCtx& ctx = pml_.ctx();
 
   StripedRecv op;
   op.req = &req;
@@ -280,19 +361,35 @@ void Bml::matched_striped(RecvRequest& req, std::unique_ptr<FirstFrag> frag) {
                      blob.begin() + static_cast<std::ptrdiff_t>(off + nlen));
     off += nlen;
     const auto region = rte::get_pod<std::uint64_t>(blob, off);
-    op.regions.emplace_back(std::move(name), region);
+    RailSched rs;
+    rs.name = std::move(name);
+    rs.region = region;
+    Ptl* p = find_rail(rs.name);
+    rs.ptl = p != nullptr && p->stripe_capable() ? p : nullptr;
+    op.rails.push_back(std::move(rs));
   }
   op.checksummed = rte::get_pod<std::uint8_t>(blob, off) != 0;
-  const auto nstripes = rte::get_pod<std::uint32_t>(blob, off);
-  for (std::uint32_t i = 0; i < nstripes; ++i) {
-    StripeSpec s;
-    s.rail = rte::get_pod<std::uint32_t>(blob, off);
-    s.offset = rte::get_pod<std::uint64_t>(blob, off);
-    s.len = rte::get_pod<std::uint64_t>(blob, off);
-    s.crc = rte::get_pod<std::uint32_t>(blob, off);
-    op.stripes.push_back(s);
+  const auto inline_len = rte::get_pod<std::uint64_t>(blob, off);
+  const auto push_len = rte::get_pod<std::uint64_t>(blob, off);
+  const auto push_unit = rte::get_pod<std::uint32_t>(blob, off);
+  const auto frag_size = rte::get_pod<std::uint64_t>(blob, off);
+  const auto nfrags = rte::get_pod<std::uint32_t>(blob, off);
+
+  // Re-derive the fragment boundaries from the sender's numbers through the
+  // one shared authority; a disagreement is a protocol bug, not a runtime
+  // condition.
+  op.plan =
+      derive_frags(frag->hdr.len, inline_len, push_len, push_unit, frag_size);
+  assert(op.plan.nfrags == nfrags &&
+         "sender and receiver derived different fragment schedules");
+  (void)nfrags;
+  op.push_expected = op.plan.push_len;
+
+  if (op.checksummed) {
+    op.crcs.resize(op.plan.nfrags);
+    for (std::uint32_t i = 0; i < op.plan.nfrags; ++i)
+      op.crcs[i] = rte::get_pod<std::uint32_t>(blob, off);
   }
-  op.pending.resize(op.stripes.size());
 
   if (req.type->is_contiguous()) {
     op.base = static_cast<char*>(req.buf);
@@ -302,66 +399,227 @@ void Bml::matched_striped(RecvRequest& req, std::unique_ptr<FirstFrag> frag) {
     op.staged = true;
   }
 
-  const std::uint64_t rid = next_recv_id_++;
-  const std::size_t count = op.stripes.size();
-  rrecvs_.emplace(rid, std::move(op));
-  OQS_METRIC_INC("bml.recv.striped");
-  OQS_TRACE_INSTANT(pml_.ctx().gid, "bml", "recv.striped", "len",
-                    frag->hdr.len, "stripes",
-                    static_cast<std::uint64_t>(count));
-  for (std::size_t i = 0; i < count; ++i) {
-    if (rrecvs_.find(rid) == rrecvs_.end()) break;  // failed mid-issue
-    issue_pull(rid, i);
+  // The inline prefix rides at the tail of the RTS body; it lands here and
+  // nowhere else (the pull region starts at pull_base).
+  if (op.plan.inline_len > 0) {
+    assert(blob.size() - off == op.plan.inline_len);
+    ctx.compute(ctx.params->host_memcpy_startup_ns +
+                ModelParams::xfer_ns(op.plan.inline_len,
+                                     ctx.params->host_memcpy_mbps));
+    std::memcpy(op.base, blob.data() + off,
+                static_cast<std::size_t>(op.plan.inline_len));
   }
-  arm_stripe_timer();
+
+  op.pending.resize(op.plan.nfrags);
+  // Bandwidth-weighted fragment dispatch: each fragment goes to the rail
+  // that finishes its backlog+fragment earliest. With equal rails this
+  // degenerates to round-robin; a slow rail naturally takes fewer
+  // fragments. Suspect/absent rails take none.
+  {
+    std::vector<double> load(op.rails.size(), 0.0);
+    for (std::uint32_t i = 0; i < op.plan.nfrags; ++i) {
+      int best = -1;
+      double best_v = 0.0;
+      for (std::size_t r = 0; r < op.rails.size(); ++r) {
+        const RailSched& rs = op.rails[r];
+        if (rs.ptl == nullptr || !rs.ptl->reaches(op.gid) ||
+            suspect_rails_.count(rs.name) != 0)
+          continue;
+        const double v =
+            (load[r] + static_cast<double>(op.plan.frag_bytes(i))) /
+            rail_weight(*rs.ptl);
+        if (best < 0 || v < best_v) {
+          best = static_cast<int>(r);
+          best_v = v;
+        }
+      }
+      if (best < 0) break;  // no usable rail: issue_pull will fail the recv
+      op.pending[i].slot = best;
+      op.rails[static_cast<std::size_t>(best)].queue.push_back(i);
+      load[static_cast<std::size_t>(best)] +=
+          static_cast<double>(op.plan.frag_bytes(i));
+    }
+  }
+
+  const std::uint64_t rid = next_recv_id_++;
+  const auto key = std::make_pair(op.gid, op.sender_cookie);
+  const std::uint32_t count = op.plan.nfrags;
+  rrecvs_.emplace(rid, std::move(op));
+  by_cookie_[key] = rid;
+  OQS_METRIC_INC("bml.recv.striped");
+  OQS_TRACE_INSTANT(ctx.gid, "bml", "recv.striped", "len", frag->hdr.len,
+                    "frags", static_cast<std::uint64_t>(count));
+
+  // Pushed fragments that raced ahead of the match land now.
+  if (auto st = pipe_stash_.find(key); st != pipe_stash_.end()) {
+    auto frames = std::move(st->second);
+    pipe_stash_.erase(st);
+    for (auto& [foff, bytes] : frames) {
+      if (rrecvs_.find(rid) == rrecvs_.end()) return;  // completed/failed
+      apply_push(rid, foff, bytes.data(), bytes.size());
+    }
+  }
+  if (rrecvs_.find(rid) == rrecvs_.end()) return;
+
+  if (count > 0) {
+    // A fragment with no usable rail fails the receive through the normal
+    // path: force one issue attempt so the failure is reported.
+    bool any_queued = false;
+    for (const RailSched& rs : rrecvs_.at(rid).rails)
+      any_queued = any_queued || !rs.queue.empty();
+    if (!any_queued) {
+      fail_recv(rid, Status::kUnreachable);
+      return;
+    }
+    pump(rid);
+    arm_stripe_timer();
+  } else {
+    maybe_finish_recv(rid);
+  }
 }
 
-void Bml::issue_pull(std::uint64_t rid, std::size_t idx) {
+void Bml::handle_pipe_frag(const MatchHeader& hdr, const std::uint8_t* data,
+                           std::size_t len) {
+  const auto key = std::make_pair(hdr.src_gid, hdr.cookie);
+  auto it = by_cookie_.find(key);
+  if (it == by_cookie_.end()) {
+    // Pushed fragments can outrun the posting of the receive (the RTS sits
+    // in the unexpected queue); stash them until the match lands.
+    OQS_METRIC_INC("bml.pipeline.push_stashed");
+    pipe_stash_[key].emplace_back(hdr.aux,
+                                  std::vector<std::uint8_t>(data, data + len));
+    return;
+  }
+  apply_push(it->second, hdr.aux, data, len);
+}
+
+void Bml::apply_push(std::uint64_t rid, std::uint64_t offset,
+                     const std::uint8_t* data, std::size_t len) {
   auto it = rrecvs_.find(rid);
   if (it == rrecvs_.end()) return;
   StripedRecv& op = it->second;
-  const StripeSpec& s = op.stripes[idx];
-  PendingPull& pend = op.pending[idx];
-
-  auto usable = [&](Ptl* p) {
-    return p != nullptr && p->stripe_capable() && p->reaches(op.gid) &&
-           suspect_rails_.count(p->name()) == 0;
-  };
-  // Preferred rail: the sender's assignment. Failing that (suspect, absent,
-  // unreachable), any live rail — the sender exposed the whole payload on
-  // every rail for exactly this case.
-  Ptl* rail = nullptr;
-  std::uint64_t region = 0;
-  if (Ptl* p = find_rail(op.regions[s.rail].first); usable(p)) {
-    rail = p;
-    region = op.regions[s.rail].second;
-  } else {
-    for (const auto& [nm, reg] : op.regions) {
-      Ptl* q = find_rail(nm);
-      if (usable(q)) {
-        rail = q;
-        region = reg;
-        break;
-      }
-    }
-  }
-  if (rail == nullptr) {
-    fail_recv(rid, Status::kUnreachable);
+  // Pushed fragments live strictly between the inline prefix and the pull
+  // region; anything else would re-deliver bytes another path owns.
+  if (offset < op.plan.inline_len || offset + len > op.plan.pull_base) {
+    log::error("bml", "pushed fragment outside its window: off ", offset,
+               " len ", len);
     return;
   }
+  const ProcessCtx& ctx = pml_.ctx();
+  ctx.compute(ctx.params->host_memcpy_startup_ns +
+              ModelParams::xfer_ns(len, ctx.params->host_memcpy_mbps));
+  std::memcpy(op.base + offset, data, len);
+  op.push_got += len;
+  OQS_METRIC_INC("bml.pipeline.push_rx");
+  OQS_TRACE_INSTANT(ctx.gid, "bml", "pipeline.push", "off", offset, "len",
+                    static_cast<std::uint64_t>(len));
+  maybe_finish_recv(rid);
+}
+
+void Bml::pump(std::uint64_t rid) {
+  auto it = rrecvs_.find(rid);
+  if (it == rrecvs_.end()) return;
+  const int depth = pipeline_depth();
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    // Re-find the op each sweep: issue_pull can mutate rrecvs_.
+    auto cur = rrecvs_.find(rid);
+    if (cur == rrecvs_.end()) return;
+    StripedRecv& op = cur->second;
+    auto usable = [&](const RailSched& rs) {
+      return rs.ptl != nullptr && rs.ptl->reaches(op.gid) &&
+             suspect_rails_.count(rs.name) == 0;
+    };
+    // A dead rail's queued fragments migrate to the least-loaded survivor's
+    // queue (not straight to the wire: the depth limit still applies, so a
+    // failover does not dump an unbounded burst on the surviving rail).
+    int total_inflight = 0;
+    for (const RailSched& rs : op.rails) total_inflight += rs.inflight;
+    for (std::size_t r = 0; r < op.rails.size(); ++r) {
+      RailSched& rs = op.rails[r];
+      if (usable(rs) || rs.queue.empty()) continue;
+      while (!rs.queue.empty()) {
+        int best = -1;
+        for (std::size_t t = 0; t < op.rails.size(); ++t) {
+          if (!usable(op.rails[t])) continue;
+          if (best < 0 || op.rails[t].queue.size() <
+                              op.rails[static_cast<std::size_t>(best)].queue.size())
+            best = static_cast<int>(t);
+        }
+        if (best < 0) {
+          // Every rail is gone. With pulls still in flight their completion
+          // (or the watchdog) decides the fate; otherwise nothing ever will.
+          if (total_inflight == 0) fail_recv(rid, Status::kUnreachable);
+          return;
+        }
+        const std::uint32_t idx = rs.queue.front();
+        rs.queue.pop_front();
+        op.pending[idx].slot = best;
+        op.rails[static_cast<std::size_t>(best)].queue.push_back(idx);
+      }
+    }
+    for (std::size_t r = 0; r < op.rails.size(); ++r) {
+      RailSched& rs = op.rails[r];
+      if (rs.queue.empty() || rs.inflight >= depth) continue;
+      const std::uint32_t idx = rs.queue.front();
+      rs.queue.pop_front();
+      advanced = true;
+      issue_pull(rid, idx);
+      if (rrecvs_.find(rid) == rrecvs_.end()) return;  // failed mid-issue
+    }
+  }
+}
+
+void Bml::issue_pull(std::uint64_t rid, std::uint32_t idx) {
+  auto it = rrecvs_.find(rid);
+  if (it == rrecvs_.end()) return;
+  StripedRecv& op = it->second;
+  PendingPull& pend = op.pending[idx];
+
+  auto usable = [&](const RailSched& rs) {
+    return rs.ptl != nullptr && rs.ptl->reaches(op.gid) &&
+           suspect_rails_.count(rs.name) == 0;
+  };
+  // Preferred rail: the scheduled assignment. Failing that (suspect,
+  // absent, unreachable), the least-busy live rail — the sender exposed the
+  // whole pull region on every rail for exactly this case.
+  int slot = pend.slot;
+  if (slot < 0 || !usable(op.rails[static_cast<std::size_t>(slot)])) {
+    slot = -1;
+    for (std::size_t r = 0; r < op.rails.size(); ++r) {
+      if (!usable(op.rails[r])) continue;
+      if (slot < 0 ||
+          op.rails[r].inflight < op.rails[static_cast<std::size_t>(slot)].inflight)
+        slot = static_cast<int>(r);
+    }
+    if (slot < 0) {
+      fail_recv(rid, Status::kUnreachable);
+      return;
+    }
+    pend.slot = slot;
+  }
+  RailSched& rs = op.rails[static_cast<std::size_t>(slot)];
 
   const ProcessCtx& ctx = pml_.ctx();
+  const std::uint64_t foff = op.plan.frag_offset(idx);
+  const std::uint64_t flen = op.plan.frag_bytes(idx);
   ++pend.attempts;
-  pend.rail = rail;
+  pend.rail = rs.ptl;
   pend.done = false;
-  // Generous per-stripe deadline: the failover timeout plus several times
-  // the ideal serialization, so a loaded-but-healthy rail is never culled.
-  pend.deadline =
-      ctx.engine->now() + ctx.params->stripe_timeout_ns +
-      8 * ModelParams::xfer_ns(s.len, ctx.params->link_mbps);
-  pend.pull_id = rail->stripe_pull(
-      op.gid, region, static_cast<std::size_t>(s.offset), op.base + s.offset,
-      static_cast<std::size_t>(s.len),
+  // Generous per-fragment deadline: the failover timeout plus several times
+  // the ideal serialization, so a loaded-but-healthy rail is never culled —
+  // including the rail's current backlog, which balloons when a failover
+  // collapses a dead rail's share onto this one.
+  std::uint64_t ahead =
+      static_cast<std::uint64_t>(rs.inflight) * op.plan.frag_size;
+  for (const std::uint32_t q : rs.queue) ahead += op.plan.frag_bytes(q);
+  pend.deadline = ctx.engine->now() + ctx.params->stripe_timeout_ns +
+                  2 * ModelParams::xfer_ns(ahead, ctx.params->link_mbps) +
+                  8 * ModelParams::xfer_ns(flen, ctx.params->link_mbps);
+  pend.pull_id = rs.ptl->stripe_pull(
+      op.gid, rs.region, static_cast<std::size_t>(foff - op.plan.pull_base),
+      op.base + foff, static_cast<std::size_t>(flen),
       [this, tok = std::weak_ptr<bool>(alive_), rid, idx](Status st) {
         auto a = tok.lock();
         if (!a || !*a) return;
@@ -369,25 +627,29 @@ void Bml::issue_pull(std::uint64_t rid, std::size_t idx) {
       });
   if (pend.pull_id == 0) {
     // The rail refused outright (peer gone there): immediately suspect.
-    suspect_rails_.insert(rail->name());
+    suspect_rails_.insert(rs.name);
     if (pend.attempts <= static_cast<int>(ptls_.size()) + 1)
       issue_pull(rid, idx);
     else
       fail_recv(rid, Status::kUnreachable);
     return;
   }
+  ++rs.inflight;
   OQS_TRACE_INSTANT(ctx.gid, "bml", "stripe.pull", "idx",
-                    static_cast<std::uint64_t>(idx), "len", s.len);
+                    static_cast<std::uint64_t>(idx), "len", flen);
 }
 
-void Bml::on_pull_done(std::uint64_t rid, std::size_t idx, Status st) {
+void Bml::on_pull_done(std::uint64_t rid, std::uint32_t idx, Status st) {
   auto it = rrecvs_.find(rid);
   if (it == rrecvs_.end()) return;
   StripedRecv& op = it->second;
   PendingPull& pend = op.pending[idx];
   if (pend.done) return;  // stale completion after a reassignment
+  if (pend.slot >= 0)
+    --op.rails[static_cast<std::size_t>(pend.slot)].inflight;
   const ProcessCtx& ctx = pml_.ctx();
-  const StripeSpec& s = op.stripes[idx];
+  const std::uint64_t foff = op.plan.frag_offset(idx);
+  const std::uint64_t flen = op.plan.frag_bytes(idx);
 
   if (!ok(st)) {
     if (pend.rail != nullptr) suspect_rails_.insert(pend.rail->name());
@@ -400,8 +662,9 @@ void Bml::on_pull_done(std::uint64_t rid, std::size_t idx, Status st) {
   }
 
   if (op.checksummed) {
-    ctx.compute(ModelParams::xfer_ns(s.len, ctx.params->crc_mbps));
-    if (crc32c(op.base + s.offset, static_cast<std::size_t>(s.len)) != s.crc) {
+    ctx.compute(ModelParams::xfer_ns(flen, ctx.params->crc_mbps));
+    if (crc32c(op.base + foff, static_cast<std::size_t>(flen)) !=
+        op.crcs[idx]) {
       OQS_METRIC_INC("bml.stripe.crc_retries");
       if (++pend.crc_retries > kStripeMaxCrcRetries) {
         fail_recv(rid, Status::kError);
@@ -419,26 +682,38 @@ void Bml::on_pull_done(std::uint64_t rid, std::size_t idx, Status st) {
   pend.pull_id = 0;
   ++op.done_count;
   OQS_TRACE_INSTANT(ctx.gid, "bml", "stripe.done", "idx",
-                    static_cast<std::uint64_t>(idx), "len", s.len);
-  // FIN per stripe; the sender aggregates all FINs into one completion.
+                    static_cast<std::uint64_t>(idx), "len", flen);
+  // FIN per fragment; the sender aggregates all FINs into one completion.
   send_stripe_fin(op, idx, Status::kOk);
-  if (op.done_count == op.stripes.size()) finish_recv(rid);
+  // Freeing a depth slot starts the next queued fragment immediately: this
+  // back-to-back chain is the pipeline.
+  pump(rid);
+  maybe_finish_recv(rid);
 }
 
 void Bml::send_stripe_fin(StripedRecv& op, std::size_t idx, Status st) {
   // Control traffic stays on the primary (first live) rail, like the
-  // striped first fragment: a FIN must never ride a rail that might be the
-  // one being failed over, or its loss would strand the sender's
+  // fragmented first fragment: a FIN must never ride a rail that might be
+  // the one being failed over, or its loss would strand the sender's
   // aggregation.
   Ptl* rail = nullptr;
-  for (const auto& [nm, reg] : op.regions) {
-    Ptl* p = find_rail(nm);
-    if (p != nullptr && p->reaches(op.gid) && suspect_rails_.count(nm) == 0) {
-      rail = p;
+  for (const RailSched& rs : op.rails) {
+    if (rs.ptl != nullptr && rs.ptl->reaches(op.gid) &&
+        suspect_rails_.count(rs.name) == 0) {
+      rail = rs.ptl;
       break;
     }
   }
-  if (rail == nullptr) return;  // no live rail: the sender is gone anyway
+  // Suspect is a local verdict, not proof of death: rather than strand the
+  // sender's FIN aggregation, fall back to any rail that still claims to
+  // reach the peer.
+  if (rail == nullptr)
+    for (const RailSched& rs : op.rails)
+      if (rs.ptl != nullptr && rs.ptl->reaches(op.gid)) {
+        rail = rs.ptl;
+        break;
+      }
+  if (rail == nullptr) return;  // no rail at all: the sender is gone anyway
   MatchHeader fin;
   fin.kind = FragKind::kStripeFin;
   fin.src_gid = pml_.ctx().gid;
@@ -451,10 +726,19 @@ void Bml::send_stripe_fin(StripedRecv& op, std::size_t idx, Status st) {
   rail->bml_post(op.gid, fin, nullptr, 0);
 }
 
+void Bml::maybe_finish_recv(std::uint64_t rid) {
+  auto it = rrecvs_.find(rid);
+  if (it == rrecvs_.end()) return;
+  const StripedRecv& op = it->second;
+  if (op.done_count == op.plan.nfrags && op.push_got >= op.push_expected)
+    finish_recv(rid);
+}
+
 void Bml::finish_recv(std::uint64_t rid) {
   auto it = rrecvs_.find(rid);
   StripedRecv op = std::move(it->second);
   rrecvs_.erase(it);
+  by_cookie_.erase(std::make_pair(op.gid, op.sender_cookie));
   const ProcessCtx& ctx = pml_.ctx();
   if (op.staged) {
     ctx.compute(ctx.params->host_memcpy_startup_ns +
@@ -471,15 +755,16 @@ void Bml::fail_recv(std::uint64_t rid, Status st) {
   if (it == rrecvs_.end()) return;
   StripedRecv op = std::move(it->second);
   rrecvs_.erase(it);
+  by_cookie_.erase(std::make_pair(op.gid, op.sender_cookie));
   for (PendingPull& pend : op.pending) {
     if (!pend.done && pend.rail != nullptr && pend.pull_id != 0)
       pend.rail->stripe_cancel(pend.pull_id);
   }
-  // Report every unfinished stripe to the sender so it unexposes its
+  // Report every unfinished fragment to the sender so it unexposes its
   // regions and fails the send instead of waiting forever.
-  for (std::size_t i = 0; i < op.stripes.size(); ++i)
+  for (std::size_t i = 0; i < op.pending.size(); ++i)
     if (!op.pending[i].done) send_stripe_fin(op, i, st);
-  log::warn("bml", "striped recv from gid ", op.gid, " failed: ",
+  log::warn("bml", "fragmented recv from gid ", op.gid, " failed: ",
             to_string(st));
   OQS_METRIC_INC("bml.stripe.failed");
   op.req->fail(st);
@@ -508,10 +793,10 @@ void Bml::stripe_fire() {
   stripe_timer_armed_ = false;
   const ProcessCtx& ctx = pml_.ctx();
   const sim::Time now = ctx.engine->now();
-  // Collect overdue stripes first: issue_pull / fail_recv mutate rrecvs_.
-  std::vector<std::pair<std::uint64_t, std::size_t>> overdue;
+  // Collect overdue fragments first: issue_pull / fail_recv mutate rrecvs_.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> overdue;
   for (auto& [rid, op] : rrecvs_) {
-    for (std::size_t i = 0; i < op.pending.size(); ++i) {
+    for (std::uint32_t i = 0; i < op.pending.size(); ++i) {
       const PendingPull& pend = op.pending[i];
       if (!pend.done && pend.pull_id != 0 && now >= pend.deadline)
         overdue.emplace_back(rid, i);
@@ -522,10 +807,10 @@ void Bml::stripe_fire() {
     if (it == rrecvs_.end()) continue;
     StripedRecv& op = it->second;
     PendingPull& pend = op.pending[idx];
-    if (pend.done) continue;
+    if (pend.done || pend.pull_id == 0) continue;
     // The pull sat past its deadline: presume the rail dead, abandon the
-    // pull, and re-issue the stripe on a survivor.
-    log::warn("bml", "stripe ", idx, " overdue on rail ",
+    // pull, and re-issue the fragment on a survivor.
+    log::warn("bml", "fragment ", idx, " overdue on rail ",
               pend.rail != nullptr ? pend.rail->name() : "?",
               "; failing over");
     OQS_METRIC_INC("bml.stripe.failovers");
@@ -535,11 +820,17 @@ void Bml::stripe_fire() {
       pend.rail->stripe_cancel(pend.pull_id);
       suspect_rails_.insert(pend.rail->name());
     }
+    if (pend.slot >= 0)
+      --op.rails[static_cast<std::size_t>(pend.slot)].inflight;
     pend.pull_id = 0;
-    if (pend.attempts > static_cast<int>(ptls_.size()) + 1)
+    if (pend.attempts > static_cast<int>(ptls_.size()) + 1) {
       fail_recv(rid, Status::kUnreachable);
-    else
-      issue_pull(rid, idx);
+      continue;
+    }
+    issue_pull(rid, idx);
+    // The dead rail's queued fragments reassign as the pump pops them (the
+    // issue path skips suspect rails), so drain it now.
+    pump(rid);
   }
   arm_stripe_timer();
 }
@@ -555,13 +846,14 @@ int Bml::progress() {
 void Bml::finalize() {
   if (finalized_) return;
   const ProcessCtx& ctx = pml_.ctx();
-  // Drain in-flight striped operations first (the failover timer keeps
+  // Drain in-flight fragmented operations first (the failover timer keeps
   // running, so a dead rail cannot wedge the drain), then quiesce the rails.
   while (striped_active() != 0) {
     if (progress() == 0) ctx.engine->sleep(ctx.params->host_poll_ns);
   }
   finalized_ = true;
   *alive_ = false;
+  pipe_stash_.clear();
   for (const auto& p : ptls_) p->finalize();
 }
 

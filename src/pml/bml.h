@@ -10,27 +10,36 @@
 //    rail's bandwidth, so small messages chase latency and large ones
 //    bandwidth); the legacy round-robin policy is preserved for the
 //    scheduler experiments,
-//  - striping: rendezvous payloads at/above ModelParams::stripe_min_bytes
-//    are split across every stripe-capable rail in bandwidth-weighted
-//    shares; the receiver pulls each stripe over its own rail and sends one
-//    FIN per stripe, which the sender aggregates into a single completion,
-//  - failover: each stripe carries a pull deadline; an overdue stripe marks
-//    its rail suspect and is re-issued on a survivor (the sender exposes
-//    the whole payload on every rail precisely so any rail can serve any
-//    stripe).
+//  - pipelined rendezvous: every long message is cut by one authoritative
+//    FragSchedule into an inline prefix riding the RTS, eagerly pushed
+//    pipeline fragments behind it (payload streams before the CTS), and
+//    chunked pull fragments dispatched bandwidth-weighted across every
+//    stripe-capable rail with at most pipeline_depth pulls in flight per
+//    rail — the fragment is the striping unit, replacing the old 32 KB
+//    whole-message stripe threshold,
+//  - failover: each issued pull carries a deadline; an overdue fragment
+//    marks its rail suspect and is re-issued on a survivor (the sender
+//    exposes the whole pull region on every rail precisely so any rail can
+//    serve any fragment), with per-fragment FINs aggregated into a single
+//    sender completion.
 //
 // Per-sender arrival order is preserved because the striped first fragment
 // is an ordinary sequenced fragment through Pml::incoming_first; only the
-// bulk payload fans out across rails.
+// bulk payload fans out across rails. Pushed fragments ride the primary
+// rail's sequenced stream behind the RTS, so they arrive after it (or are
+// stashed until the match lands when the receiver has not posted yet).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "pml/frag_schedule.h"
 #include "pml/ptl.h"
 #include "pml/request.h"
 #include "sim/time.h"
@@ -53,6 +62,16 @@ class Bml {
 
   void set_sched_policy(SchedPolicy p) { policy_ = p; }
   void set_inline_rendezvous(bool v) { inline_rendezvous_ = v; }
+  // Pipelined-rendezvous knobs; 0 / negative overrides fall back to
+  // ModelParams (pipeline_frag_bytes / pipeline_depth / pipeline_push_frags).
+  void set_pipeline_rendezvous(bool v) { pipeline_ = v; }
+  void set_pipeline_frag_bytes(std::size_t v) { frag_bytes_override_ = v; }
+  void set_pipeline_depth(int v) { depth_override_ = v; }
+  void set_pipeline_push_frags(int v) { push_frags_override_ = v; }
+  bool pipeline_rendezvous() const { return pipeline_; }
+  std::size_t pipeline_frag_bytes() const;
+  int pipeline_depth() const;
+  int pipeline_push_frags() const;
 
   void add_ptl(std::unique_ptr<Ptl> ptl);
   std::size_t num_ptls() const { return ptls_.size(); }
@@ -65,47 +84,43 @@ class Bml {
   Ptl* sole_blocking_ptl() const;
 
   // Route and transmit a send whose header the PML has filled in. Decides
-  // eager vs rendezvous vs striped rendezvous.
+  // eager vs rendezvous vs fragmented (pipelined/striped) rendezvous.
   void send(SendRequest& req);
 
-  // Receiver side of a striped rendezvous: the PML matched a
-  // kRendezvousStriped first fragment; parse the stripe map and start the
-  // per-rail pulls.
+  // Receiver side of a fragmented rendezvous: the PML matched a
+  // kRendezvousStriped first fragment; parse the schedule and start the
+  // depth-limited per-rail pulls.
   void matched_striped(RecvRequest& req, std::unique_ptr<FirstFrag> frag);
   // Sender side: a kStripeFin arrived from any rail.
   void handle_stripe_fin(const MatchHeader& hdr);
+  // Receiver side: an eagerly pushed pipeline fragment (kPipeFrag) arrived.
+  void handle_pipe_frag(const MatchHeader& hdr, const std::uint8_t* data,
+                        std::size_t len);
 
   int progress();
   // Drain in-flight striped operations, then quiesce every PTL.
   void finalize();
 
-  // Striped operations still in flight (either direction).
+  // Fragmented operations still in flight (either direction).
   std::size_t striped_active() const { return ssends_.size() + rrecvs_.size(); }
-  // Rails marked suspect by stripe failover (by PTL name).
+  // Rails marked suspect by fragment failover (by PTL name).
   const std::set<std::string>& suspect_rails() const { return suspect_rails_; }
 
  private:
-  // One stripe assignment within a striped rendezvous.
-  struct StripeSpec {
-    std::uint32_t rail = 0;  // index into the sender's rail-region list
-    std::uint64_t offset = 0;
-    std::uint64_t len = 0;
-    std::uint32_t crc = 0;  // payload CRC32C (checksummed rails only)
-  };
-
   struct StripedSend {
     SendRequest* req = nullptr;
     int gid = -1;
-    std::size_t rest = 0;
-    // Exposed regions, one per stripe-capable rail, in stripe-map order.
+    std::size_t rest = 0;  // pulled bytes, credited at FIN aggregation
+    // Exposed pull regions, one per stripe-capable rail, in schedule order.
     std::vector<std::pair<Ptl*, std::uint64_t>> regions;
     std::uint64_t fin_mask = 0;
     std::uint64_t want_mask = 0;
     bool failed = false;
   };
 
-  // Receiver-side progress of one stripe.
+  // Receiver-side progress of one pull fragment.
   struct PendingPull {
+    int slot = -1;  // index into StripedRecv::rails
     Ptl* rail = nullptr;
     std::uint64_t pull_id = 0;
     sim::Time deadline = 0;
@@ -114,19 +129,32 @@ class Bml {
     bool done = false;
   };
 
+  // One rail's receiver-local pull scheduler: fragments queue here and at
+  // most pipeline_depth are in flight at once, so registration/translation
+  // of the next fragment overlaps the transfer of the previous ones.
+  struct RailSched {
+    std::string name;            // sender-side rail name (wire order)
+    std::uint64_t region = 0;    // sender's exposed pull region on that rail
+    Ptl* ptl = nullptr;          // local module, nullptr if absent here
+    std::deque<std::uint32_t> queue;  // fragments assigned, not yet issued
+    int inflight = 0;
+  };
+
   struct StripedRecv {
     RecvRequest* req = nullptr;
     int gid = -1;
     std::uint64_t sender_cookie = 0;  // keys the FINs we send back
-    // Sender's exposed regions: rail name -> region handle, in map order.
-    std::vector<std::pair<std::string, std::uint64_t>> regions;
-    std::vector<StripeSpec> stripes;
+    FragSchedule plan;
+    std::vector<std::uint32_t> crcs;  // per pull fragment (checksummed rails)
+    std::vector<RailSched> rails;
     std::vector<PendingPull> pending;
-    char* base = nullptr;  // pull target (user buffer or staging)
+    char* base = nullptr;  // landing area (user buffer or staging)
     bool staged = false;
     bool checksummed = false;
-    std::size_t rest = 0;
+    std::size_t rest = 0;  // whole message bytes, credited at completion
     std::size_t done_count = 0;
+    std::uint64_t push_expected = 0;  // pushed bytes the schedule promises
+    std::uint64_t push_got = 0;
   };
 
   Ptl* choose(int dst_gid, std::size_t total);
@@ -135,10 +163,18 @@ class Bml {
   // Stripe-capable rails reaching gid (used for both the striping decision
   // and the region exposure).
   std::vector<Ptl*> stripe_rails(int gid) const;
-  bool try_striped(SendRequest& req);
-  void issue_pull(std::uint64_t rid, std::size_t idx);
-  void on_pull_done(std::uint64_t rid, std::size_t idx, Status st);
+  // Plan and launch a fragmented rendezvous (pipelined, or the legacy
+  // whole-message striping when the pipeline is disabled). Returns false to
+  // fall back to the single-rail monolithic scheme.
+  bool try_fragmented(SendRequest& req, Ptl* chosen);
+  void apply_push(std::uint64_t rid, std::uint64_t offset,
+                  const std::uint8_t* data, std::size_t len);
+  // Issue queued fragments on every rail with spare pipeline depth.
+  void pump(std::uint64_t rid);
+  void issue_pull(std::uint64_t rid, std::uint32_t idx);
+  void on_pull_done(std::uint64_t rid, std::uint32_t idx, Status st);
   void send_stripe_fin(StripedRecv& op, std::size_t idx, Status st);
+  void maybe_finish_recv(std::uint64_t rid);
   void finish_recv(std::uint64_t rid);
   void fail_recv(std::uint64_t rid, Status st);
   Ptl* find_rail(const std::string& name) const;
@@ -148,6 +184,10 @@ class Bml {
   Pml& pml_;
   SchedPolicy policy_ = SchedPolicy::kBestWeight;
   bool inline_rendezvous_ = false;
+  bool pipeline_ = true;
+  std::size_t frag_bytes_override_ = 0;
+  int depth_override_ = 0;
+  int push_frags_override_ = -1;
   std::size_t rr_next_ = 0;
   std::vector<std::unique_ptr<Ptl>> ptls_;
 
@@ -156,6 +196,12 @@ class Bml {
   std::map<std::uint64_t, StripedSend> ssends_;
   std::map<std::uint64_t, StripedRecv> rrecvs_;
   std::set<std::string> suspect_rails_;
+  // Routing for pushed fragments: (sender gid, sender cookie) -> recv id
+  // once matched; frames arriving before the match wait in the stash.
+  std::map<std::pair<int, std::uint64_t>, std::uint64_t> by_cookie_;
+  std::map<std::pair<int, std::uint64_t>,
+           std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>>
+      pipe_stash_;
 
   bool stripe_timer_armed_ = false;
   // Timer-liveness token: cleared at finalize so in-flight callbacks die.

@@ -1,0 +1,109 @@
+// The pipelined-rendezvous fragment schedule.
+//
+// One function owns every byte boundary of a long message: the inline
+// prefix riding in the RTS frame, the eagerly pushed pipeline fragments
+// that follow it before the CTS, and the chunked pull fragments that
+// stream the remainder. Both the sender (building the RTS) and the
+// receiver (scheduling pulls) derive boundaries from the same plan, so an
+// offset disagreement — the old double-delivery window where the inline
+// prefix was not excluded from the striped pull map — is impossible by
+// construction: pulls address only [pull_base, total).
+#pragma once
+
+#include <cstdint>
+
+namespace oqs::pml {
+
+// Per-fragment FIN accounting aggregates into a 64-bit mask, so a message
+// never splits into more pull fragments than mask bits.
+inline constexpr std::uint32_t kMaxPullFrags = 64;
+
+struct FragSchedule {
+  std::uint64_t total = 0;       // whole message payload bytes
+  std::uint64_t inline_len = 0;  // bytes carried inside the RTS frame
+  std::uint64_t push_len = 0;    // bytes pushed eagerly after the prefix
+  std::uint32_t push_unit = 0;   // payload bytes per pushed frame
+  std::uint64_t pull_base = 0;   // first byte the receiver may pull
+  std::uint64_t pull_len = 0;    // bytes moved by chunked RDMA pulls
+  std::uint64_t frag_size = 0;   // requested pull fragment size
+  std::uint32_t nfrags = 0;      // pull fragments (<= kMaxPullFrags)
+
+  std::uint32_t push_frames() const {
+    if (push_len == 0 || push_unit == 0) return 0;
+    return static_cast<std::uint32_t>((push_len + push_unit - 1) / push_unit);
+  }
+
+  // Pushed frame i covers [push_offset(i), push_offset(i) + push_bytes(i)).
+  std::uint64_t push_offset(std::uint32_t i) const {
+    return inline_len + static_cast<std::uint64_t>(i) * push_unit;
+  }
+  std::uint64_t push_bytes(std::uint32_t i) const {
+    const std::uint64_t off = push_offset(i);
+    const std::uint64_t end = inline_len + push_len;
+    return off >= end ? 0 : (end - off < push_unit ? end - off : push_unit);
+  }
+
+  // Pull fragment i covers [frag_offset(i), frag_offset(i) + frag_bytes(i)),
+  // an absolute range within the message. Uniform splits with the last
+  // fragment absorbing the remainder.
+  std::uint64_t frag_offset(std::uint32_t i) const {
+    return pull_base + static_cast<std::uint64_t>(i) * (pull_len / nfrags);
+  }
+  std::uint64_t frag_bytes(std::uint32_t i) const {
+    const std::uint64_t base = pull_len / nfrags;
+    return i + 1 == nfrags ? pull_len - base * i : base;
+  }
+};
+
+// Derive the pull split from already-fixed prefix boundaries. This is the
+// single authority for fragment offsets: the sender serializes inline_len /
+// push_len / push_unit / frag_size into the RTS body, the receiver feeds
+// them back through here, and both sides see identical ranges.
+inline FragSchedule derive_frags(std::uint64_t total, std::uint64_t inline_len,
+                                 std::uint64_t push_len,
+                                 std::uint32_t push_unit,
+                                 std::uint64_t frag_size) {
+  FragSchedule p;
+  p.total = total;
+  p.inline_len = inline_len;
+  p.push_len = push_len;
+  p.push_unit = push_unit;
+  p.frag_size = frag_size;
+  p.pull_base = inline_len + push_len;
+  p.pull_len = total > p.pull_base ? total - p.pull_base : 0;
+  if (p.pull_len == 0) return p;
+  if (p.frag_size == 0) p.frag_size = p.pull_len;
+  std::uint64_t n = (p.pull_len + p.frag_size - 1) / p.frag_size;
+  if (n > kMaxPullFrags) n = kMaxPullFrags;
+  p.nfrags = static_cast<std::uint32_t>(n);
+  return p;
+}
+
+// Sender-side planning: clamp the prefix against the message and the RTS
+// frame capacity, then split the rest.
+inline FragSchedule plan_frags(std::uint64_t total, std::uint64_t inline_cap,
+                               std::uint32_t push_frames,
+                               std::uint32_t push_unit,
+                               std::uint64_t frag_size) {
+  const std::uint64_t inline_len = total < inline_cap ? total : inline_cap;
+  std::uint64_t push_len = 0;
+  if (push_frames > 0 && push_unit > 0) {
+    push_len = static_cast<std::uint64_t>(push_frames) * push_unit;
+    if (push_len > total - inline_len) push_len = total - inline_len;
+    // Two cases where the pull machinery is pure overhead and the tail is
+    // folded into extra pushed frames instead:
+    //  - the message is well under one pull fragment (half, so that the
+    //    extra host-copy time of pushing stays below the pull's RDMA + FIN
+    //    round trip — the fig10 latency/bandwidth crossover tables bound
+    //    both sides of this cutoff): a single short pull cannot overlap
+    //    anything, it only delays sender completion,
+    //  - the remainder is smaller than one pushed frame: a sub-frame pull
+    //    costs a full fragment round trip for a few hundred bytes.
+    const std::uint64_t rem = total - inline_len - push_len;
+    if (rem > 0 && (rem <= push_unit || total <= frag_size / 2))
+      push_len += rem;
+  }
+  return derive_frags(total, inline_len, push_len, push_unit, frag_size);
+}
+
+}  // namespace oqs::pml

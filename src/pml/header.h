@@ -35,6 +35,15 @@ enum class FragKind : std::uint8_t {
   // (hdr.status carries the outcome); the sender aggregates these into one
   // completion.
   kStripeFin = 12,
+  // Pipelined rendezvous: an eagerly pushed pipeline fragment riding behind
+  // the RTS before the CTS returns. hdr.cookie is the sender's striped-send
+  // id, hdr.aux the absolute byte offset, hdr.len the chunk length.
+  kPipeFrag = 13,
+  // TCP PTL stripe emulation (no RDMA engine): the puller asks the exposing
+  // side to stream a region slice back. kPullReq carries region/offset/len;
+  // kPullResp returns the bytes with the pull id in hdr.cookie.
+  kPullReq = 14,
+  kPullResp = 15,
 };
 
 // MatchHeader.flags bits.

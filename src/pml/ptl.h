@@ -113,6 +113,10 @@ class Ptl {
   // Abandon an outstanding pull (rail presumed dead); its completion
   // callback will not run.
   virtual void stripe_cancel(std::uint64_t pull_id) { (void)pull_id; }
+  // Payload bytes per eagerly pushed pipeline fragment (kPipeFrag) on this
+  // rail. Defaults to the eager limit (one full first-fragment frame); a
+  // copy-path rail may prefer its chunk size.
+  virtual std::size_t pipeline_push_unit() const { return eager_limit(); }
   // Transmit a BML-built protocol frame (striped first fragment, stripe
   // FIN) to gid. Non-control frames ride the rail's sequenced/reliable
   // path like any data frame.

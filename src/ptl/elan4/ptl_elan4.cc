@@ -733,7 +733,13 @@ void PtlElan4::handle_local_complete(std::uint64_t id) {
 // ---------------------------------------------------------- progress ----
 
 void PtlElan4::handle_frame(elan4::QdmaQueue::Slot&& slot) {
-  assert(slot.data.size() >= sizeof(MatchHeader));
+  if (slot.data.size() < sizeof(MatchHeader)) {
+    // Defense in depth: a runt frame cannot carry a trustworthy header (not
+    // even the piggybacked ack), so it is dropped whole.
+    log::warn(name_, "runt frame (", slot.data.size(), "B) dropped");
+    OQS_METRIC_INC("ptl.frames.runt_dropped");
+    return;
+  }
   MatchHeader hdr;
   std::memcpy(&hdr, slot.data.data(), sizeof(MatchHeader));
   OQS_TRACE_SPAN(span_, node_, "ptl", "handle_frame", "kind",
@@ -802,6 +808,13 @@ void PtlElan4::handle_frame(elan4::QdmaQueue::Slot&& slot) {
       break;
     case FragKind::kStripeFin:
       pml_.bml().handle_stripe_fin(hdr);
+      break;
+    case FragKind::kPipeFrag:
+      // Eagerly pushed pipeline fragment: payload straight to the BML,
+      // which routes it by (sender, cookie) — no matching involved.
+      pml_.bml().handle_pipe_frag(hdr,
+                                  slot.data.data() + sizeof(MatchHeader),
+                                  slot.data.size() - sizeof(MatchHeader));
       break;
     case FragKind::kComplete:
       handle_local_complete(hdr.cookie);

@@ -127,16 +127,27 @@ void ReliableStream::note_admitted() {
 
 void ReliableStream::retransmit_from(std::size_t offset,
                                      std::size_t max_frames) {
-  const std::size_t end = std::min(sent_log_.size(), offset + max_frames);
-  for (std::size_t i = offset; i < end; ++i) {
-    ++counters_.retransmissions;
-    OQS_METRIC_INC("ptl.reliability.retransmissions");
-    OQS_TRACE_INSTANT(hooks_.node, "ptl", "reliability.retransmit", "seq",
-                      static_cast<std::uint16_t>(log_base_ + i));
+  // charge_crc/wire suspend the calling fiber (simulated CPU/post time), and
+  // a concurrently delivered cumulative ack prunes the log front meanwhile —
+  // so positions shift under the loop. Walk by frame sequence and re-resolve
+  // against log_base_ after every suspension point; a frame acked mid-loop
+  // is skipped, never read from a stale slot.
+  std::uint16_t seq = static_cast<std::uint16_t>(log_base_ + offset);
+  for (std::size_t sent = 0; sent < max_frames; ++seq) {
+    auto idx = static_cast<std::int16_t>(seq - log_base_);
+    if (idx < 0) continue;  // acked while we slept
+    if (static_cast<std::size_t>(idx) >= sent_log_.size()) break;
     // Retransmissions are not free: the wire CRC is recomputed/verified by
     // the NIC path exactly like a first transmission.
-    hooks_.charge_crc(sent_log_[i].size());
-    hooks_.wire(sent_log_[i], nullptr);
+    hooks_.charge_crc(sent_log_[static_cast<std::size_t>(idx)].size());
+    idx = static_cast<std::int16_t>(seq - log_base_);  // shifted while charging?
+    if (idx < 0) continue;
+    if (static_cast<std::size_t>(idx) >= sent_log_.size()) break;
+    ++counters_.retransmissions;
+    OQS_METRIC_INC("ptl.reliability.retransmissions");
+    OQS_TRACE_INSTANT(hooks_.node, "ptl", "reliability.retransmit", "seq", seq);
+    hooks_.wire(sent_log_[static_cast<std::size_t>(idx)], nullptr);
+    ++sent;
   }
 }
 

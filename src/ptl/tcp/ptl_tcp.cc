@@ -182,6 +182,47 @@ void PtlTcp::matched(pml::RecvRequest& req, std::unique_ptr<pml::FirstFrag> frag
   post_frame(pit->second, ack, nullptr, 0);
 }
 
+// ------------------------------------------------ BML striping hooks ----
+
+std::uint64_t PtlTcp::stripe_expose(const void* base, std::size_t len) {
+  const std::uint64_t id = next_id_++;
+  stripe_regions_.emplace(
+      id, StripeRegion{static_cast<const std::uint8_t*>(base), len});
+  return id;
+}
+
+std::uint64_t PtlTcp::stripe_pull(int gid, std::uint64_t region,
+                                  std::size_t offset, void* dst,
+                                  std::size_t len,
+                                  std::function<void(Status)> done) {
+  auto it = peers_.find(gid);
+  if (it == peers_.end() || !it->second.alive) return 0;
+  const std::uint64_t id = next_id_++;
+  stripe_pulls_.emplace(
+      id, StripePull{static_cast<std::uint8_t*>(dst), len, std::move(done)});
+  MatchHeader preq;
+  preq.kind = FragKind::kPullReq;
+  preq.src_gid = pml_.ctx().gid;
+  preq.dst_gid = gid;
+  preq.cookie = id;       // echoed back in the response
+  preq.aux = region;      // exposer's region handle
+  preq.len = len;
+  std::vector<std::uint8_t> body;
+  rte::put_pod(body, static_cast<std::uint64_t>(offset));
+  rte::put_pod(body, static_cast<std::uint64_t>(len));
+  OQS_TRACE_INSTANT(node_, "ptl", "stripe.pull_req", "id", id, "len",
+                    static_cast<std::uint64_t>(len));
+  post_frame(it->second, preq, body.data(), body.size());
+  return id;
+}
+
+void PtlTcp::bml_post(int gid, const MatchHeader& hdr, const void* body,
+                      std::size_t body_len) {
+  auto it = peers_.find(gid);
+  if (it == peers_.end() || !it->second.alive) return;
+  post_frame(it->second, hdr, body, body_len);
+}
+
 void PtlTcp::eth_deliver(int, std::vector<std::uint8_t> frame) {
   inbox_.push_back(std::move(frame));
 }
@@ -207,13 +248,63 @@ void PtlTcp::handle_frame(std::vector<std::uint8_t>&& frame) {
 
   switch (hdr.kind) {
     case FragKind::kEager:
-    case FragKind::kRendezvous: {
+    case FragKind::kRendezvous:
+    case FragKind::kRendezvousStriped: {
       auto ff = std::make_unique<TcpFirstFrag>();
       ff->hdr = hdr;
       ff->ptl = this;
       ff->send_cookie = hdr.cookie;
       ff->inline_data.assign(frame.begin() + sizeof(MatchHeader), frame.end());
       pml_.incoming_first(std::move(ff));
+      break;
+    }
+    case FragKind::kStripeFin:
+      pml_.bml().handle_stripe_fin(hdr);
+      break;
+    case FragKind::kPipeFrag:
+      pml_.bml().handle_pipe_frag(hdr, frame.data() + sizeof(MatchHeader),
+                                  frame.size() - sizeof(MatchHeader));
+      break;
+    case FragKind::kPullReq: {
+      std::size_t off = sizeof(MatchHeader);
+      const auto roff = rte::get_pod<std::uint64_t>(frame, off);
+      const auto rlen = rte::get_pod<std::uint64_t>(frame, off);
+      auto pit = peers_.find(hdr.src_gid);
+      if (pit == peers_.end() || !pit->second.alive) break;
+      MatchHeader resp;
+      resp.kind = FragKind::kPullResp;
+      resp.src_gid = pml_.ctx().gid;
+      resp.dst_gid = hdr.src_gid;
+      resp.cookie = hdr.cookie;  // the puller's pull id
+      auto rit = stripe_regions_.find(hdr.aux);
+      if (rit == stripe_regions_.end() ||
+          roff + rlen > rit->second.len) {
+        resp.status = static_cast<std::uint16_t>(Status::kFault);
+        post_frame(pit->second, resp, nullptr, 0);
+        break;
+      }
+      resp.status = static_cast<std::uint16_t>(Status::kOk);
+      resp.len = rlen;
+      post_frame(pit->second, resp, rit->second.base + roff,
+                 static_cast<std::size_t>(rlen));
+      break;
+    }
+    case FragKind::kPullResp: {
+      auto it = stripe_pulls_.find(hdr.cookie);
+      if (it == stripe_pulls_.end()) break;  // cancelled pull: stale response
+      StripePull op = std::move(it->second);
+      stripe_pulls_.erase(it);
+      if (hdr.status != static_cast<std::uint16_t>(Status::kOk)) {
+        if (op.done) op.done(static_cast<Status>(hdr.status));
+        break;
+      }
+      const std::size_t part = frame.size() - sizeof(MatchHeader);
+      if (part != op.len) {
+        if (op.done) op.done(Status::kError);
+        break;
+      }
+      std::memcpy(op.dst, frame.data() + sizeof(MatchHeader), part);
+      if (op.done) op.done(Status::kOk);
       break;
     }
     case FragKind::kAck: {

@@ -75,6 +75,30 @@ class PtlTcp final : public pml::Ptl, private net::EthNet::Sink {
   }
   void send_first(pml::SendRequest& req, std::size_t inline_len) override;
   void matched(pml::RecvRequest& req, std::unique_ptr<pml::FirstFrag> frag) override;
+
+  // BML striping hooks: no RDMA engine here, so a "pull" is a request/
+  // response pair over the socket (kPullReq / kPullResp). The TCP rail
+  // thereby joins the same fragment schedule as the Elan4 rails.
+  bool stripe_capable() const override { return true; }
+  bool stripe_checksummed() const override { return reliability_; }
+  std::uint64_t stripe_expose(const void* base, std::size_t len) override;
+  void stripe_unexpose(std::uint64_t region) override {
+    stripe_regions_.erase(region);
+  }
+  std::uint64_t stripe_pull(int gid, std::uint64_t region, std::size_t offset,
+                            void* dst, std::size_t len,
+                            std::function<void(Status)> done) override;
+  void stripe_cancel(std::uint64_t pull_id) override {
+    stripe_pulls_.erase(pull_id);
+  }
+  void bml_post(int gid, const pml::MatchHeader& hdr, const void* body,
+                std::size_t body_len) override;
+  // Pushed pipeline fragments use the copy-path chunk size, not the 64 KB
+  // eager limit: one chunk per frame keeps the socket copies bounded.
+  std::size_t pipeline_push_unit() const override {
+    return net_.params().tcp_chunk;
+  }
+
   int progress() override;
   bool active() const override { return !sends_.empty() || !recvs_.empty(); }
   void finalize() override;
@@ -95,6 +119,15 @@ class PtlTcp final : public pml::Ptl, private net::EthNet::Sink {
     pml::RecvRequest* req = nullptr;
     std::size_t remaining = 0;
     int gid = -1;
+  };
+  struct StripeRegion {
+    const std::uint8_t* base = nullptr;
+    std::size_t len = 0;
+  };
+  struct StripePull {
+    std::uint8_t* dst = nullptr;
+    std::size_t len = 0;
+    std::function<void(Status)> done;
   };
 
   // net::EthNet::Sink — frames land in the kernel-side inbox.
@@ -120,6 +153,8 @@ class PtlTcp final : public pml::Ptl, private net::EthNet::Sink {
   std::map<int, TcpEndpoint> peers_;
   std::map<std::uint64_t, PendingSend> sends_;
   std::map<std::uint64_t, PendingRecv> recvs_;
+  std::map<std::uint64_t, StripeRegion> stripe_regions_;
+  std::map<std::uint64_t, StripePull> stripe_pulls_;
   std::deque<std::vector<std::uint8_t>> inbox_;
   std::uint64_t next_id_ = 1;
   std::uint64_t tx_bytes_ = 0;

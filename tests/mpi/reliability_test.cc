@@ -73,9 +73,11 @@ TEST(Reliability, EagerTrafficSurvivesCorruption) {
 TEST(Reliability, RendezvousPayloadRecoversByRereading) {
   mpi::Options o = reliable();
   o.elan4.max_data_retries = 25;  // survive an aggressive corruption rate
+  // Asserts the PTL's data_retries counter, which the BML's fragmented path
+  // (with its own per-fragment CRC re-pulls) bypasses — force the
+  // monolithic single-pull rendezvous.
+  o.pipeline_rendezvous = false;
   TestBed bed;
-  // Asserts the PTL's data_retries counter, which the BML's striped path
-  // (with its own per-stripe CRC re-pulls) would bypass under 2 rails.
   bed.pin_transport = true;
   bed.net->set_corruption(0.04, /*seed=*/5);
   std::uint64_t retries = 0;
@@ -105,7 +107,11 @@ TEST(Reliability, RendezvousPayloadRecoversByRereading) {
 TEST(Reliability, UnrecoverablePayloadFailsBothSides) {
   mpi::Options o = reliable();
   o.elan4.max_data_retries = 0;  // no recovery allowed
+  // Expects the monolithic scheme's FIN_ACK failure path; the fragmented
+  // path recovers via CRC re-pulls instead of failing.
+  o.pipeline_rendezvous = false;
   TestBed bed;
+  bed.pin_transport = true;
   bed.net->set_corruption(0.5, /*seed=*/3);  // certain corruption
   bed.run_mpi(2, [&](mpi::World& w) {
     auto& c = w.comm();

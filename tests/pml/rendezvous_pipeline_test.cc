@@ -1,0 +1,334 @@
+// Pipelined-rendezvous conformance: the fragment schedule is the single
+// authority for every byte boundary of a long message, and the full stack
+// must honor it — no byte delivered twice (the old inline-prefix /
+// pull-map double-delivery window), no byte skipped, per-sender order
+// preserved, and the whole schedule replay-deterministic under faults.
+//
+// Two layers of coverage:
+//  - plan-level unit tests drive plan_frags/derive_frags directly and check
+//    exact-once coverage of [0, total) across inline prefix, pushed frames
+//    and pull fragments,
+//  - full-stack tests straddle every interesting boundary (eager_limit,
+//    frag_size, push region) with patterned payloads, and a property test
+//    randomizes frag size / depth / push count under a seeded RNG.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "net/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pml/frag_schedule.h"
+#include "ptl/elan4/ptl_elan4.h"
+#include "testbed.h"
+
+namespace oqs {
+namespace {
+
+using pml::derive_frags;
+using pml::FragSchedule;
+using pml::kMaxPullFrags;
+using pml::plan_frags;
+using test::TestBed;
+
+// ---------------------------------------------------------------------------
+// Plan-level conformance.
+
+// Every byte of [0, total) must be claimed exactly once by the inline
+// prefix, one pushed frame, or one pull fragment.
+void expect_exact_once(const FragSchedule& p) {
+  ASSERT_EQ(p.inline_len + p.push_len, p.pull_base)
+      << "pulls must start exactly where the pushed prefix ends";
+  ASSERT_EQ(p.pull_base + p.pull_len, p.total);
+  std::vector<int> hits(static_cast<std::size_t>(p.total), 0);
+  for (std::uint64_t b = 0; b < p.inline_len; ++b) ++hits[b];
+  for (std::uint32_t i = 0; i < p.push_frames(); ++i) {
+    const std::uint64_t off = p.push_offset(i);
+    const std::uint64_t len = p.push_bytes(i);
+    ASSERT_GT(len, 0u) << "pushed frame " << i << " may not be empty";
+    for (std::uint64_t b = off; b < off + len; ++b) ++hits[b];
+  }
+  for (std::uint32_t i = 0; i < p.nfrags; ++i) {
+    const std::uint64_t off = p.frag_offset(i);
+    const std::uint64_t len = p.frag_bytes(i);
+    ASSERT_GT(len, 0u) << "pull fragment " << i << " may not be empty";
+    ASSERT_GE(off, p.pull_base)
+        << "pull fragment " << i << " reaches into the pushed prefix";
+    for (std::uint64_t b = off; b < off + len; ++b) ++hits[b];
+  }
+  for (std::size_t b = 0; b < hits.size(); ++b)
+    ASSERT_EQ(hits[b], 1) << "byte " << b << " delivered " << hits[b]
+                          << " times (total=" << p.total
+                          << " inline=" << p.inline_len
+                          << " push=" << p.push_len << "/" << p.push_unit
+                          << " frag=" << p.frag_size << ")";
+}
+
+TEST(FragSchedulePlan, CoversEveryByteExactlyOnce) {
+  // Boundary sweep: totals that land the pull length exactly on, one below
+  // and one above fragment multiples, and prefixes that do or don't consume
+  // the message whole.
+  const std::uint64_t inline_cap = 1984;
+  const std::uint32_t push_unit = 1984;
+  for (const std::uint32_t push_frames : {0u, 1u, 3u}) {
+    for (const std::uint64_t frag : {512ull, 4096ull, 16384ull}) {
+      const std::uint64_t prefix =
+          inline_cap + static_cast<std::uint64_t>(push_frames) * push_unit;
+      for (const std::uint64_t total :
+           {inline_cap - 1, inline_cap, inline_cap + 1, prefix - 1, prefix,
+            prefix + 1, prefix + frag - 1, prefix + frag, prefix + frag + 1,
+            prefix + 5 * frag + frag / 2}) {
+        SCOPED_TRACE(testing::Message() << "total=" << total << " frag=" << frag
+                                        << " push=" << push_frames);
+        expect_exact_once(
+            plan_frags(total, inline_cap, push_frames, push_unit, frag));
+      }
+    }
+  }
+}
+
+TEST(FragSchedulePlan, SenderAndReceiverDeriveIdenticalRanges) {
+  // The receiver re-derives the plan from the four serialized scalars; both
+  // sides must see identical fragment ranges.
+  const FragSchedule s = plan_frags(300000, 1984, 3, 1984, 16384);
+  const FragSchedule r =
+      derive_frags(s.total, s.inline_len, s.push_len, s.push_unit, s.frag_size);
+  ASSERT_EQ(s.nfrags, r.nfrags);
+  ASSERT_EQ(s.pull_base, r.pull_base);
+  for (std::uint32_t i = 0; i < s.nfrags; ++i) {
+    EXPECT_EQ(s.frag_offset(i), r.frag_offset(i));
+    EXPECT_EQ(s.frag_bytes(i), r.frag_bytes(i));
+  }
+  for (std::uint32_t i = 0; i < s.push_frames(); ++i) {
+    EXPECT_EQ(s.push_offset(i), r.push_offset(i));
+    EXPECT_EQ(s.push_bytes(i), r.push_bytes(i));
+  }
+}
+
+TEST(FragSchedulePlan, FragCountCapsAtFinMaskWidth) {
+  // Tiny fragments against a huge message: the plan widens fragments rather
+  // than overflowing the 64-bit FIN mask.
+  const FragSchedule p = plan_frags(8u << 20, 1984, 0, 0, 512);
+  EXPECT_EQ(p.nfrags, kMaxPullFrags);
+  std::uint64_t covered = 0;
+  for (std::uint32_t i = 0; i < p.nfrags; ++i) {
+    EXPECT_EQ(p.frag_offset(i), p.pull_base + covered);
+    covered += p.frag_bytes(i);
+  }
+  EXPECT_EQ(covered, p.pull_len);
+}
+
+TEST(FragSchedulePlan, RandomizedPlansStayConformant) {
+  std::mt19937_64 rng(0x5eedu);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::uint64_t inline_cap = 1 + rng() % 4096;
+    const std::uint32_t push_frames = static_cast<std::uint32_t>(rng() % 5);
+    const std::uint32_t push_unit = 1 + static_cast<std::uint32_t>(rng() % 4096);
+    const std::uint64_t frag = 1 + rng() % 32768;
+    const std::uint64_t total = 1 + rng() % 200000;
+    SCOPED_TRACE(testing::Message()
+                 << "iter=" << iter << " total=" << total << " cap="
+                 << inline_cap << " push=" << push_frames << "x" << push_unit
+                 << " frag=" << frag);
+    const FragSchedule p =
+        plan_frags(total, inline_cap, push_frames, push_unit, frag);
+    ASSERT_LE(p.nfrags, kMaxPullFrags);
+    expect_exact_once(p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-stack conformance.
+
+std::vector<std::uint8_t> patterned(std::size_t bytes, std::uint8_t salt) {
+  std::vector<std::uint8_t> buf(bytes);
+  for (std::size_t i = 0; i < bytes; ++i)
+    buf[i] = static_cast<std::uint8_t>(i * 7 + salt);
+  return buf;
+}
+
+// Ping every size in `sizes` from rank 0 to rank 1 in order; each message
+// carries a size+index-salted pattern so a misrouted, reordered, doubled or
+// clipped fragment shows up as a byte mismatch at a specific offset.
+void exchange_sizes(mpi::World& w, const std::vector<std::size_t>& sizes) {
+  auto& c = w.comm();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto salt = static_cast<std::uint8_t>(sizes[i] * 31 + i);
+    if (c.rank() == 0) {
+      std::vector<std::uint8_t> out = patterned(sizes[i], salt);
+      c.send(out.data(), sizes[i], dtype::byte_type(), 1, 7);
+    } else {
+      const std::vector<std::uint8_t> want = patterned(sizes[i], salt);
+      std::vector<std::uint8_t> got(sizes[i], 0xA5);
+      c.recv(got.data(), sizes[i], dtype::byte_type(), 0, 7);
+      ASSERT_EQ(got, want) << "message " << i << " of " << sizes[i] << "B";
+    }
+  }
+  c.barrier();
+}
+
+// Boundary straddle around the eager/rendezvous switch and every fragment
+// edge the schedule can produce for the given knobs.
+std::vector<std::size_t> straddle_sizes(std::size_t eager, std::size_t frag,
+                                        std::size_t push_prefix) {
+  const std::size_t prefix = eager + push_prefix;
+  return {
+      eager - 1, eager,         eager + 1,          // protocol switch
+      prefix - 1, prefix, prefix + 1,               // push region edge
+      prefix + frag - 1, prefix + frag, prefix + frag + 1,  // 1st pull edge
+      prefix + 2 * frag - 1, prefix + 2 * frag, prefix + 2 * frag + 1,
+      prefix + 7 * frag + frag / 3,  // many fragments, ragged tail
+  };
+}
+
+TEST(RendezvousPipeline, FragmentBoundariesDeliverIntactInOrder) {
+  mpi::Options opts;
+  opts.pipeline_frag_bytes = 4096;
+  opts.pipeline_depth = 2;
+  opts.pipeline_push_frags = 2;
+  obs::metrics().reset();
+  TestBed bed;
+  bed.pin_transport = true;  // sizes below are computed from these exact knobs
+  bed.run_mpi(2, [&](mpi::World& w) {
+    const std::size_t eager = w.elan4_ptl()->eager_limit();
+    exchange_sizes(w, straddle_sizes(eager, 4096, 2 * eager));
+  }, opts);
+  const auto m = obs::metrics().snapshot();
+  const auto get = [&m](const std::string& k) -> std::uint64_t {
+    const auto it = m.find(k);
+    return it != m.end() ? it->second : 0u;
+  };
+  // The sweep must actually exercise both protocols and the pushed-fragment
+  // path, or the integrity assertions above prove less than they claim.
+  EXPECT_GT(get("pml.send.eager"), 0u);
+  EXPECT_GT(get("bml.send.pipelined"), 0u);
+  EXPECT_GT(get("bml.pipeline.push_rx"), 0u);
+  EXPECT_EQ(get("bml.stripe.failed"), 0u);
+}
+
+TEST(RendezvousPipeline, ReliabilityAndChecksumsPreserveBoundaries) {
+  // Same straddle with the go-back-N stream and per-fragment CRCs on: the
+  // sequenced path carries RTS/pushed fragments/FINs, pulls are verified.
+  mpi::Options opts;
+  opts.elan4.reliability = true;
+  opts.pipeline_frag_bytes = 4096;
+  opts.pipeline_depth = 3;
+  TestBed bed;
+  bed.pin_transport = true;
+  bed.run_mpi(2, [&](mpi::World& w) {
+    const std::size_t eager = w.elan4_ptl()->eager_limit();
+    exchange_sizes(w, straddle_sizes(eager, 4096, 3 * eager));
+  }, opts);
+}
+
+TEST(RendezvousPipeline, InterleavedEagerTrafficKeepsSenderOrder) {
+  // MPI ordering law: messages on one (sender, tag) stream match in send
+  // order even when a short eager message departs while pipeline fragments
+  // of an earlier long message are still in flight.
+  mpi::Options opts;
+  opts.pipeline_frag_bytes = 2048;
+  opts.pipeline_depth = 2;
+  TestBed bed;
+  bed.pin_transport = true;
+  bed.run_mpi(2, [&](mpi::World& w) {
+    auto& c = w.comm();
+    const std::size_t big = 100000, small = 64;
+    for (int round = 0; round < 8; ++round) {
+      const auto salt = static_cast<std::uint8_t>(round * 13);
+      if (c.rank() == 0) {
+        std::vector<std::uint8_t> a = patterned(big, salt);
+        std::vector<std::uint8_t> b = patterned(small, salt + 1);
+        // Nonblocking long send, then an eager send racing its fragments.
+        auto ra = c.isend(a.data(), big, dtype::byte_type(), 1, 3);
+        c.send(b.data(), small, dtype::byte_type(), 1, 3);
+        ra.wait();
+      } else {
+        std::vector<std::uint8_t> a(big, 0), b(small, 0);
+        c.recv(a.data(), big, dtype::byte_type(), 0, 3);
+        c.recv(b.data(), small, dtype::byte_type(), 0, 3);
+        ASSERT_EQ(a, patterned(big, salt)) << "round " << round;
+        ASSERT_EQ(b, patterned(small, salt + 1)) << "round " << round;
+      }
+    }
+    c.barrier();
+  }, opts);
+}
+
+struct PipelineRun {
+  sim::Time final_time = 0;
+  std::uint64_t digest = 0;
+  obs::MetricRegistry::Snapshot metrics;
+};
+
+PipelineRun run_faulted_pipeline(std::uint64_t seed) {
+  obs::Tracer tracer;
+  obs::set_tracer(&tracer);
+  obs::metrics().reset();
+  mpi::Options opts;
+  opts.elan4.reliability = true;
+  opts.pipeline_frag_bytes = 4096;
+  opts.pipeline_depth = 2;
+  TestBed bed;
+  bed.pin_transport = true;
+  net::FaultProfile p;
+  p.drop = 0.03;
+  p.corrupt = 0.01;
+  p.duplicate = 0.02;
+  bed.net->set_faults(p, seed);
+  PipelineRun out;
+  out.final_time = bed.run_mpi(2, [&](mpi::World& w) {
+    const std::size_t eager = w.elan4_ptl()->eager_limit();
+    exchange_sizes(w, straddle_sizes(eager, 4096, 3 * eager));
+  }, opts);
+  out.digest = tracer.digest();
+  out.metrics = obs::metrics().snapshot();
+  obs::set_tracer(nullptr);
+  return out;
+}
+
+TEST(RendezvousPipeline, SameSeedReplaysSameScheduleAndDigest) {
+  const PipelineRun a = run_faulted_pipeline(97);
+  const PipelineRun b = run_faulted_pipeline(97);
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.metrics, b.metrics)
+      << "same fault seed must reproduce every counter exactly";
+}
+
+TEST(RendezvousPipeline, DifferentSeedDiverges) {
+#if defined(OQS_TRACE_DISABLED)
+  GTEST_SKIP() << "instrumentation compiled out (-DOQS_TRACE=OFF)";
+#else
+  const PipelineRun a = run_faulted_pipeline(97);
+  const PipelineRun b = run_faulted_pipeline(98);
+  EXPECT_NE(a.digest, b.digest);
+#endif
+}
+
+TEST(RendezvousPipeline, RandomizedKnobsStayConformant) {
+  // Property test: fragment size, depth and push count are protocol knobs,
+  // not correctness knobs. Any seeded combination must deliver every byte.
+  std::mt19937_64 rng(0xF1A6u);
+  for (int iter = 0; iter < 5; ++iter) {
+    mpi::Options opts;
+    opts.pipeline_frag_bytes = 512u << (rng() % 6);     // 512B .. 16KB
+    opts.pipeline_depth = 1 + static_cast<int>(rng() % 4);
+    opts.pipeline_push_frags = static_cast<int>(rng() % 4);
+    opts.elan4.reliability = (rng() % 2) == 0;
+    const std::size_t frag = opts.pipeline_frag_bytes;
+    std::vector<std::size_t> sizes;
+    for (int s = 0; s < 6; ++s) sizes.push_back(1 + rng() % 150000);
+    SCOPED_TRACE(testing::Message()
+                 << "iter=" << iter << " frag=" << frag << " depth="
+                 << opts.pipeline_depth << " push=" << opts.pipeline_push_frags
+                 << " rel=" << opts.elan4.reliability);
+    TestBed bed;
+    bed.pin_transport = true;
+    bed.run_mpi(2, [&](mpi::World& w) { exchange_sizes(w, sizes); }, opts);
+  }
+}
+
+}  // namespace
+}  // namespace oqs

@@ -15,6 +15,10 @@ namespace oqs::test {
 // multirail and/or multi-network configuration:
 //   OQS_TEST_RAILS=N  bring up N Elan4 rails (fabric + PTL modules)
 //   OQS_TEST_TCP=1    additionally enable the TCP PTL beside Elan4
+//   OQS_TEST_FRAG=N   pipelined-rendezvous fragment size override (bytes) —
+//                     a small value forces multi-fragment schedules on
+//                     every long message in the suite
+//   OQS_TEST_DEPTH=N  pipelined-rendezvous per-rail depth override
 inline int env_rails() {
   const char* v = std::getenv("OQS_TEST_RAILS");
   const int n = v != nullptr ? std::atoi(v) : 1;
@@ -24,6 +28,18 @@ inline int env_rails() {
 inline bool env_tcp() {
   const char* v = std::getenv("OQS_TEST_TCP");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+inline std::size_t env_frag() {
+  const char* v = std::getenv("OQS_TEST_FRAG");
+  const long long n = v != nullptr ? std::atoll(v) : 0;
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
+
+inline int env_depth() {
+  const char* v = std::getenv("OQS_TEST_DEPTH");
+  const int n = v != nullptr ? std::atoi(v) : 0;
+  return n > 0 ? n : 0;
 }
 
 struct TestBed {
@@ -55,6 +71,8 @@ struct TestBed {
           opts.elan4.progress == ptl_elan4::Progress::kPolling)
         opts.elan4.rails = env_rails();
       if (opts.use_elan4 && !opts.use_tcp && env_tcp()) opts.use_tcp = true;
+      if (opts.pipeline_frag_bytes == 0) opts.pipeline_frag_bytes = env_frag();
+      if (opts.pipeline_depth == 0) opts.pipeline_depth = env_depth();
     }
     auto shared = std::make_shared<std::function<void(mpi::World&)>>(std::move(body));
     rt->launch(n, [this, opts, shared](rte::Env& env) {
