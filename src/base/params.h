@@ -60,6 +60,10 @@ struct ModelParams {
   TimeNs nic_slot_write_ns = 750;    // land a QDMA into a host queue slot
   TimeNs nic_rdma_read_req_ns = 500; // remote side turns a GET into a stream
   TimeNs nic_tport_match_ns = 350;   // Tport NIC-side tag match
+  // NIC-offloaded collectives (combining-tree barrier/allreduce): the NIC
+  // processor lands + element-wise sums a collective frame itself.
+  TimeNs nic_combine_startup_ns = 200;
+  double nic_combine_mbps = 800.0;   // firmware reduction rate
   TimeNs tport_cmd_ns = 220;         // host cost to post one Tport command
   double pci_mbps = 920.0;           // PCI-X 64/133 effective DMA rate
   std::uint32_t mtu = 2048;          // max payload per wire packet
@@ -97,6 +101,21 @@ struct ModelParams {
   int pipeline_depth = 4;
   int pipeline_push_frags = 1;
   TimeNs nic_mmu_map_page_ns = 40;
+
+  // ---- Collectives framework (src/mpi/coll) ----
+  // NIC combining tree: fan-in/out per tree level, the payload ceiling for
+  // the NIC-resident allreduce (one QDMA slot), and the communicator size
+  // below which the host dissemination barrier wins anyway.
+  int coll_nic_radix = 4;
+  std::size_t coll_nic_max_bytes = 2048;
+  int coll_nic_min_ranks = 4;
+  // Host reference allreduce: reduce-scatter+allgather takes over from
+  // recursive doubling at this payload size (bandwidth- vs latency-bound).
+  std::size_t coll_rsag_min_bytes = 4096;
+  // Intra-node shared-memory phase: cost of one flag write/read hop
+  // (cache-line transfer between the two cores); copies ride
+  // host_memcpy_mbps.
+  TimeNs shm_flag_ns = 250;
 
   // ---- Simulated kernel TCP path (reference PTL) ----
   TimeNs syscall_ns = 1200;

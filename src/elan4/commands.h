@@ -28,6 +28,25 @@ struct QdmaCmd {
   // Set by senders whose protocol recovers from loss (the Elan4 PTL's
   // sequenced frame stream): opts the packet into wire fault injection.
   bool lossy = false;
+
+  // --- NIC-offloaded collective extensions (combining-tree protocol) ---
+  // When src_addr != kNullE4Addr the NIC reads src_len bytes from the
+  // issuing context's memory when it processes the descriptor, instead of
+  // carrying host-built bytes in `data`. This is what lets a chained
+  // descriptor ship data that was produced after the chain was attached
+  // (partial sums accumulating while the event counts down).
+  E4Addr src_addr = kNullE4Addr;
+  std::uint32_t src_len = 0;
+  // When dest_addr != kNullE4Addr the payload lands there (translated in
+  // the target context's MMU) instead of in a receive queue: element-wise
+  // double-precision summed into place when `combine` is set (the NIC-side
+  // reduction of the combining tree), plain-copied otherwise.
+  E4Addr dest_addr = kNullE4Addr;
+  bool combine = false;
+  // When >= 0 the landing NIC fires event #remote_event_index in the target
+  // context's global event table after the payload (if any) has landed —
+  // the arrival half of the NIC-resident barrier/allreduce tree.
+  int remote_event_index = -1;
 };
 
 // RDMA write: local [src, src+len) -> remote [dst, dst+len).

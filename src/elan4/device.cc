@@ -24,11 +24,37 @@ const ModelParams& Elan4Device::params() const { return net_.params(); }
 void Elan4Device::compute(sim::Time ns) { net_.node(node_).cpu().compute(ns); }
 
 E4Event* Elan4Device::alloc_event(std::string name) {
-  events_.push_back(std::make_unique<E4Event>(net_.engine(), params(), &nic(),
-                                              std::move(name)));
-  E4Event* ev = events_.back().get();
+  auto owned = std::make_unique<E4Event>(net_.engine(), params(), &nic(),
+                                         std::move(name));
+  E4Event* ev = owned.get();
   last_event_index_ = nic().register_event(ctx_, ev);
+  events_.push_back({std::move(owned), last_event_index_});
   return ev;
+}
+
+Status Elan4Device::free_event(E4Event* ev) {
+  for (auto it = events_.begin(); it != events_.end(); ++it) {
+    if (it->ev.get() != ev) continue;
+    nic().unregister_event(ctx_, it->index);
+    events_.erase(it);
+    return Status::kOk;
+  }
+  return Status::kNotFound;
+}
+
+int Elan4Device::event_index(const E4Event* ev) const {
+  for (const EventEntry& e : events_)
+    if (e.ev.get() == ev) return e.index;
+  return -1;
+}
+
+Status Elan4Device::set_event(E4Event* ev) {
+  if (closed_) return Status::kShutdown;
+  compute(params().host_pio_write_ns);
+  E4Event* target = ev;
+  net_.engine().schedule(params().nic_event_fire_ns,
+                         [target] { target->fire(); });
+  return Status::kOk;
 }
 
 E4Addr Elan4Device::map(void* host, std::size_t len) {
@@ -70,6 +96,27 @@ Status Elan4Device::post_qdma(Vpid dest, int queue_id,
   cmd.data.assign(data.begin(), data.end());
   cmd.local_event = local_event;
   cmd.lossy = lossy;
+  nic().submit(std::move(cmd));
+  return Status::kOk;
+}
+
+Status Elan4Device::post_coll_qdma(Vpid dest, E4Addr src_addr,
+                                   std::uint32_t len, E4Addr dest_addr,
+                                   bool combine, int remote_event_index,
+                                   E4Event* local_event) {
+  if (closed_) return Status::kShutdown;
+  if (len > 2048) return Status::kBadParam;  // QDMA hard limit
+  compute(params().host_qdma_post_ns);
+  QdmaCmd cmd;
+  cmd.src_vpid = vpid_;
+  cmd.dest_vpid = dest;
+  cmd.dest_queue = -1;
+  cmd.src_addr = src_addr;
+  cmd.src_len = len;
+  cmd.dest_addr = dest_addr;
+  cmd.combine = combine;
+  cmd.remote_event_index = remote_event_index;
+  cmd.local_event = local_event;
   nic().submit(std::move(cmd));
   return Status::kOk;
 }

@@ -71,6 +71,28 @@ QdmaQueue* Elan4Nic::find_queue(int id) {
 
 void Elan4Nic::do_qdma(QdmaCmd&& cmd) {
   const ModelParams& p = params();
+  if (cmd.src_addr != kNullE4Addr && cmd.src_len > 0) {
+    // NIC-read payload (collective descriptors): the DMA engine pulls the
+    // bytes from the issuing context's memory when it processes the
+    // descriptor, so chained descriptors ship data produced after they were
+    // attached. Snapshot here — descriptor-processing time — which is also
+    // what makes the combining-tree slot recycling race-free (the slot is
+    // reused only a full round after the descriptor ran).
+    Status st = Status::kOk;
+    const void* host = mmu(net_.context_of(cmd.src_vpid))
+                           .translate(cmd.src_addr, cmd.src_len, &st);
+    if (!ok(st)) {
+      ++translation_faults_;
+      OQS_METRIC_INC("elan4.nic.translation_faults");
+      E4Event* ev = cmd.local_event;
+      const sim::Time done = tx_.reserve(engine().now(), p.nic_qdma_start_ns);
+      if (ev != nullptr)
+        engine().schedule_at(done, [ev] { ev->fire(Status::kFault); });
+      return;
+    }
+    cmd.data.resize(cmd.src_len);
+    std::memcpy(cmd.data.data(), host, cmd.src_len);
+  }
   const std::uint32_t len = static_cast<std::uint32_t>(cmd.data.size());
   // Cut-through: the header leaves after descriptor startup while the
   // payload streams behind it; the engine stays busy for the PCI read.
@@ -99,6 +121,23 @@ void Elan4Nic::do_qdma(QdmaCmd&& cmd) {
     const Vpid src = cmd.src_vpid;
     const int queue_id = cmd.dest_queue;
     const auto cls = cmd.lossy ? net::Delivery::kLossy : net::Delivery::kGuaranteed;
+    if (cmd.remote_event_index >= 0 || cmd.dest_addr != kNullE4Addr) {
+      // Collective delivery: land in context memory / fire the indexed
+      // event, bypassing the host receive queues entirely.
+      const ContextId dst_ctx = net_.context_of(cmd.dest_vpid);
+      const E4Addr dest_addr = cmd.dest_addr;
+      const bool combine = cmd.combine;
+      const int ev_idx = cmd.remote_event_index;
+      net_.fabric().transmit(
+          node_, dst_node, len + kQdmaWireHeader,
+          [dst, dst_ctx, dest_addr, combine, ev_idx,
+           data = std::move(cmd.data)]() mutable {
+            dst->rx_coll_qdma(dst_ctx, dest_addr, combine, ev_idx,
+                              std::move(data));
+          },
+          rail_, cls);
+      return;
+    }
     net_.fabric().transmit(
         node_, dst_node, len + kQdmaWireHeader,
         [dst, src, queue_id, data = std::move(cmd.data)]() mutable {
@@ -129,6 +168,56 @@ void Elan4Nic::rx_qdma(Vpid src, int queue_id, std::vector<std::uint8_t> data) {
       return;
     }
     q->post(src, std::move(data));
+  });
+}
+
+void Elan4Nic::rx_coll_qdma(ContextId ctx, E4Addr dest_addr, bool combine,
+                            int event_index, std::vector<std::uint8_t> data) {
+  const ModelParams& p = params();
+  // The NIC processor combines (or lands) the payload itself: startup plus
+  // a per-byte rate well below the PCI stream rate — the firmware-reduction
+  // cost of the NIC-based collective protocol. No payload corruption here:
+  // these frames ride the link-level-protected class like RDMA control
+  // traffic (the protocol has no software retransmission to recover with).
+  const sim::Time svc =
+      data.empty() ? p.nic_event_fire_ns
+                   : p.nic_combine_startup_ns +
+                         ModelParams::xfer_ns(data.size(), p.nic_combine_mbps);
+  const sim::Time done = rx_.reserve(engine().now(), svc);
+  engine().schedule_at(done, [this, ctx, dest_addr, combine, event_index,
+                              data = std::move(data)]() mutable {
+    OQS_METRIC_ADD("elan4.coll.rx_bytes", data.size());
+    if (!data.empty() && dest_addr != kNullE4Addr) {
+      Status st = Status::kOk;
+      void* host = mmu(ctx).translate(dest_addr, data.size(), &st);
+      if (!ok(st)) {
+        ++translation_faults_;
+        OQS_METRIC_INC("elan4.nic.translation_faults");
+        return;  // no landing, no completion: the host fallback's job
+      }
+      if (combine) {
+        // Element-wise double-precision sum into the accumulator.
+        const std::size_t n = data.size() / sizeof(double);
+        auto* acc = static_cast<double*>(host);
+        double v;
+        for (std::size_t i = 0; i < n; ++i) {
+          std::memcpy(&v, data.data() + i * sizeof(double), sizeof(double));
+          acc[i] += v;
+        }
+        OQS_METRIC_INC("elan4.coll.combines");
+      } else {
+        std::memcpy(host, data.data(), data.size());
+      }
+    }
+    if (event_index >= 0) {
+      E4Event* ev = event_at(ctx, event_index);
+      if (ev != nullptr) {
+        ev->fire();
+      } else {
+        ++rx_drops_;
+        OQS_METRIC_INC("elan4.nic.rx_drops");
+      }
+    }
   });
 }
 

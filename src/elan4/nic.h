@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "base/params.h"
@@ -87,11 +88,30 @@ class Elan4Nic {
 
   // Global event table: events allocated in symmetric order get the same
   // index in every context — the "global virtual address space" analogue
-  // that hardware broadcast completion relies on (paper §4.1).
+  // that hardware broadcast completion relies on (paper §4.1). Freed slots
+  // go on a per-context free list and the lowest index is reused first, so
+  // symmetric alloc/free histories keep yielding symmetric indices.
   int register_event(ContextId ctx, E4Event* ev) {
     auto& tab = event_table_[ctx];
+    auto& free = event_free_[ctx];
+    if (!free.empty()) {
+      const int idx = *free.begin();
+      free.erase(free.begin());
+      tab[static_cast<std::size_t>(idx)] = ev;
+      return idx;
+    }
     tab.push_back(ev);
     return static_cast<int>(tab.size()) - 1;
+  }
+  // Release a table slot. In-flight completions targeting the index resolve
+  // to nullptr (and count as rx_drops) — callers quiesce first.
+  void unregister_event(ContextId ctx, int index) {
+    auto it = event_table_.find(ctx);
+    if (it == event_table_.end() || index < 0 ||
+        index >= static_cast<int>(it->second.size()))
+      return;
+    it->second[static_cast<std::size_t>(index)] = nullptr;
+    event_free_[ctx].insert(index);
   }
   E4Event* event_at(ContextId ctx, int index) {
     auto it = event_table_.find(ctx);
@@ -99,6 +119,18 @@ class Elan4Nic {
         index >= static_cast<int>(it->second.size()))
       return nullptr;
     return it->second[static_cast<std::size_t>(index)];
+  }
+  // Diagnostics for leak regression tests: table extent and live entries.
+  std::size_t event_table_size(ContextId ctx) const {
+    auto it = event_table_.find(ctx);
+    return it == event_table_.end() ? 0 : it->second.size();
+  }
+  std::size_t event_table_live(ContextId ctx) const {
+    auto it = event_table_.find(ctx);
+    if (it == event_table_.end()) return 0;
+    std::size_t live = 0;
+    for (const E4Event* ev : it->second) live += ev != nullptr ? 1 : 0;
+    return live;
   }
 
   // Diagnostics.
@@ -124,6 +156,10 @@ class Elan4Nic {
 
   // Receive-side handlers (run on the destination NIC at wire-tail arrival).
   void rx_qdma(Vpid src, int queue_id, std::vector<std::uint8_t> data);
+  // Collective-QDMA landing: combine/copy into context memory, fire the
+  // indexed event (no host queue involved).
+  void rx_coll_qdma(ContextId ctx, E4Addr dest_addr, bool combine,
+                    int event_index, std::vector<std::uint8_t> data);
   // Lands one RDMA fragment. On the last fragment: fires remote_event here,
   // and if ack_event is set, sends a completion ack to ack_node where
   // ack_event is fired (RDMA-write local completion).
@@ -144,6 +180,7 @@ class Elan4Nic {
   SerialEngine rx_;
   std::map<ContextId, Mmu> mmus_;
   std::map<ContextId, std::vector<E4Event*>> event_table_;
+  std::map<ContextId, std::set<int>> event_free_;
   std::map<int, std::unique_ptr<QdmaQueue>> queues_;
   int next_queue_id_ = 1;
   std::uint64_t commands_ = 0;

@@ -1,0 +1,243 @@
+// Dispatch, selection rules and per-communicator state management.
+//
+// Selection (kAuto) must branch IDENTICALLY on every rank of the
+// communicator, because the state builds behind the branches are
+// collective: the gates below therefore use only values that are uniform
+// across ranks (options, communicator size, fabric node count, message
+// size) — never local capability, which is instead exchanged inside the
+// builds and resolved into a uniform `usable` verdict.
+#include "mpi/coll/coll.h"
+
+#include <cassert>
+#include <cstring>
+#include <numeric>
+
+#include "mpi/mpi.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "ptl/elan4/ptl_elan4.h"
+
+namespace oqs::mpi::coll {
+
+Colls::CommState& Colls::state(const Communicator& c) {
+  auto& up = states_[c.context_id()];
+  if (up == nullptr) up = std::make_unique<CommState>();
+  return *up;
+}
+
+bool Colls::hier_gate(const Communicator& c) const {
+  // Pigeonhole: more ranks than fabric nodes means some node hosts at
+  // least two of them, so the hierarchical split has an intra-node phase
+  // to win with. Crucially this is computable without the placement map,
+  // from values every rank agrees on — so all ranks decide to build the
+  // map collectively before any role-dependent branching.
+  return world_.options().coll.hier && c.size() > world_.net().num_nodes();
+}
+
+bool Colls::nic_gate(const Communicator& c, std::size_t bytes) const {
+  const ModelParams& p = *world_.pml().ctx().params;
+  return world_.options().coll.nic && c.size() >= p.coll_nic_min_ranks &&
+         (bytes == 0 || bytes <= p.coll_nic_max_bytes);
+}
+
+void Colls::charge_flag() {
+  world_.pml().ctx().compute(world_.pml().ctx().params->shm_flag_ns);
+}
+
+void Colls::charge_copy(std::size_t bytes) {
+  const ModelParams& p = *world_.pml().ctx().params;
+  world_.pml().ctx().compute(p.host_memcpy_startup_ns +
+                             ModelParams::xfer_ns(bytes, p.host_memcpy_mbps));
+}
+
+void Colls::shm_wait(const std::uint64_t& gen, std::uint64_t want) {
+  const pml::ProcessCtx& ctx = world_.pml().ctx();
+  const TimeNs step = ctx.params->shm_flag_ns;
+  while (gen < want) ctx.engine->sleep(step);
+  ctx.compute(step);  // the flag read that observed the new generation
+}
+
+// ------------------------------------------------------------ dispatch ----
+
+void Colls::barrier(Communicator& c) {
+  const int tag = c.coll_tag();
+  OQS_METRIC_INC("coll.barrier.calls");
+  CommState& st = state(c);
+  const CollOptions& o = world_.options().coll;
+  BarrierAlg alg = o.barrier;
+  if (alg == BarrierAlg::kAuto) {
+    if (hier_gate(c)) {
+      ensure_hier(c, st);
+      if (st.hier.multi) alg = BarrierAlg::kHier;
+    }
+    if (alg == BarrierAlg::kAuto && nic_gate(c, 0)) alg = BarrierAlg::kNic;
+    if (alg == BarrierAlg::kAuto) alg = BarrierAlg::kDissemination;
+  }
+  const Group flat{nullptr, c.size(), c.rank()};
+  switch (alg) {
+    case BarrierAlg::kHier:
+      ensure_hier(c, st);
+      OQS_METRIC_INC("coll.barrier.hier");
+      hier_barrier(c, tag, st);
+      return;
+    case BarrierAlg::kNic: {
+      std::vector<int> ranks(static_cast<std::size_t>(c.size()));
+      std::iota(ranks.begin(), ranks.end(), 0);
+      ensure_nic(c, st.nic_flat, std::move(ranks));
+      if (st.nic_flat.usable) {
+        OQS_METRIC_INC("coll.barrier.nic");
+        nic_round(st.nic_flat, nullptr, 0);
+        return;
+      }
+      break;  // capability disagreement: host fallback
+    }
+    case BarrierAlg::kDissemination:
+    case BarrierAlg::kAuto:
+      break;
+  }
+  OQS_METRIC_INC("coll.barrier.dissemination");
+  ref_barrier(c, tag, flat);
+}
+
+void Colls::bcast(Communicator& c, void* buf, std::size_t count,
+                  const dtype::DatatypePtr& type, int root) {
+  if (count == 0) return;
+  const int tag = c.coll_tag();
+  OQS_METRIC_INC("coll.bcast.calls");
+  CommState& st = state(c);
+  const CollOptions& o = world_.options().coll;
+  // The shared-memory phase carries raw bytes, so the hierarchical path is
+  // only meaningful for contiguous layouts (uniform across ranks: the
+  // datatype signature of a collective must match).
+  const bool contig = type->is_contiguous();
+  BcastAlg alg = o.bcast;
+  if (alg == BcastAlg::kAuto) {
+    if (contig && hier_gate(c)) {
+      ensure_hier(c, st);
+      if (st.hier.multi) alg = BcastAlg::kHier;
+    }
+    if (alg == BcastAlg::kAuto) alg = BcastAlg::kBinomial;
+  }
+  if (alg == BcastAlg::kHier && !contig) alg = BcastAlg::kBinomial;
+  if (alg == BcastAlg::kHier) {
+    ensure_hier(c, st);
+    OQS_METRIC_INC("coll.bcast.hier");
+    hier_bcast(c, tag, st, buf, count, type, root);
+    return;
+  }
+  OQS_METRIC_INC("coll.bcast.binomial");
+  const Group flat{nullptr, c.size(), c.rank()};
+  ref_bcast(c, tag, flat, root, buf, count, type);
+}
+
+void Colls::reduce_sum(Communicator& c, const double* send, double* recv,
+                       std::size_t count, int root) {
+  if (count == 0) return;
+  const int tag = c.coll_tag();
+  OQS_METRIC_INC("coll.reduce.calls");
+  CommState& st = state(c);
+  ReduceAlg alg = world_.options().coll.reduce;
+  if (alg == ReduceAlg::kAuto) {
+    if (hier_gate(c)) {
+      ensure_hier(c, st);
+      if (st.hier.multi) alg = ReduceAlg::kHier;
+    }
+    if (alg == ReduceAlg::kAuto) alg = ReduceAlg::kBinomial;
+  }
+  switch (alg) {
+    case ReduceAlg::kHier:
+      ensure_hier(c, st);
+      OQS_METRIC_INC("coll.reduce.hier");
+      hier_reduce(c, tag, st, send, recv, count, root);
+      return;
+    case ReduceAlg::kLinear:
+      OQS_METRIC_INC("coll.reduce.linear");
+      linear_reduce(c, tag, send, recv, count, root);
+      return;
+    case ReduceAlg::kBinomial:
+    case ReduceAlg::kAuto:
+      break;
+  }
+  OQS_METRIC_INC("coll.reduce.binomial");
+  const Group flat{nullptr, c.size(), c.rank()};
+  ref_reduce(c, tag, flat, root, send, recv, count);
+}
+
+void Colls::allreduce_sum(Communicator& c, const double* send, double* recv,
+                          std::size_t count) {
+  if (count == 0) return;
+  const int tag = c.coll_tag();
+  OQS_METRIC_INC("coll.allreduce.calls");
+  CommState& st = state(c);
+  const ModelParams& p = *world_.pml().ctx().params;
+  const std::size_t bytes = count * sizeof(double);
+  AllreduceAlg alg = world_.options().coll.allreduce;
+  if (alg == AllreduceAlg::kAuto) {
+    if (hier_gate(c)) {
+      ensure_hier(c, st);
+      if (st.hier.multi) alg = AllreduceAlg::kHier;
+    }
+    if (alg == AllreduceAlg::kAuto && nic_gate(c, bytes))
+      alg = AllreduceAlg::kNic;
+    if (alg == AllreduceAlg::kAuto)
+      alg = bytes >= p.coll_rsag_min_bytes && c.size() >= 4
+                ? AllreduceAlg::kRsAg
+                : AllreduceAlg::kRecursiveDoubling;
+  }
+  const Group flat{nullptr, c.size(), c.rank()};
+  switch (alg) {
+    case AllreduceAlg::kHier:
+      ensure_hier(c, st);
+      OQS_METRIC_INC("coll.allreduce.hier");
+      hier_allreduce(c, tag, st, send, recv, count);
+      return;
+    case AllreduceAlg::kNic: {
+      std::vector<int> ranks(static_cast<std::size_t>(c.size()));
+      std::iota(ranks.begin(), ranks.end(), 0);
+      ensure_nic(c, st.nic_flat, std::move(ranks));
+      if (recv != send) std::memcpy(recv, send, bytes);
+      if (st.nic_flat.usable && bytes <= p.coll_nic_max_bytes) {
+        OQS_METRIC_INC("coll.allreduce.nic");
+        nic_round(st.nic_flat, recv, count);
+      } else {
+        OQS_METRIC_INC("coll.allreduce.nic_fallback");
+        ref_allreduce(c, tag, flat, recv, count);
+      }
+      return;
+    }
+    case AllreduceAlg::kRsAg:
+      OQS_METRIC_INC("coll.allreduce.rsag");
+      if (recv != send) std::memcpy(recv, send, bytes);
+      ref_allreduce_rsag(c, tag, flat, recv, count);
+      return;
+    case AllreduceAlg::kRecursiveDoubling:
+    case AllreduceAlg::kAuto:
+      break;
+  }
+  OQS_METRIC_INC("coll.allreduce.recdbl");
+  if (recv != send) std::memcpy(recv, send, bytes);
+  ref_allreduce_recdbl(c, tag, flat, recv, count);
+}
+
+// --------------------------------------------------------------- state ----
+
+void Colls::reset() {
+  for (auto& [ctx_id, st] : states_) {
+    (void)ctx_id;
+    for (NicState* ns : {&st->nic_flat, &st->nic_leaders}) {
+      if (!ns->built || ns->dev == nullptr || ns->dev->closed()) continue;
+      for (int s = 0; s < kNicSlots; ++s) {
+        if (ns->up[s] != nullptr) ns->dev->free_event(ns->up[s]);
+        if (ns->down[s] != nullptr) ns->dev->free_event(ns->down[s]);
+        if (ns->drain[s] != nullptr) ns->dev->free_event(ns->drain[s]);
+        if (!ns->acc[s].empty()) ns->dev->unmap(ns->acc_addr[s]);
+        if (!ns->res[s].empty()) ns->dev->unmap(ns->res_addr[s]);
+      }
+    }
+    if (st->hier.seg != nullptr)
+      world_.net().node(world_.env().node).shm_unlink(st->hier.shm_key);
+  }
+  states_.clear();
+}
+
+}  // namespace oqs::mpi::coll

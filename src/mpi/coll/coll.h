@@ -1,0 +1,198 @@
+// Collectives framework: one dispatch point per MPI collective, selectable
+// algorithms behind it.
+//
+// Three families:
+//  - Reference point-to-point algorithms (dissemination barrier, binomial
+//    bcast/reduce, recursive-doubling and ring reduce-scatter+allgather
+//    allreduce), expressed over an arbitrary subgroup of a communicator so
+//    the hierarchical layer can reuse them for its inter-node phase.
+//  - NIC-offloaded barrier / small-message allreduce: a combining tree
+//    programmed into the Elan4 NICs with chained QDMA descriptors and
+//    countdown events, so the critical path between a rank's arrival and
+//    the completion broadcast involves no host except at the root's own
+//    arrival (see the protocol walkthrough in nic.cc and DESIGN.md).
+//  - Hierarchical composition: collectives split into an intra-node
+//    shared-memory phase (leader election over the ranks sharing a node)
+//    and an inter-node phase over the leaders.
+//
+// Per-communicator state (placement map, shared segment, NIC tree) is
+// built lazily and collectively on the first routed collective, keyed by
+// context id, and is placement-bound: migration or any other membership
+// change invalidates it, which is why World::migrate() resets the local
+// cache and why the kAuto rules only build state for communicators whose
+// shape can benefit (see ensure_hier/ensure_nic call sites in coll.cc).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dtype/datatype.h"
+#include "elan4/device.h"
+#include "mpi/coll/options.h"
+
+namespace oqs::mpi {
+class Communicator;
+class World;
+}  // namespace oqs::mpi
+
+namespace oqs::mpi::coll {
+
+class Colls {
+ public:
+  explicit Colls(World& world) : world_(world) {}
+  ~Colls() { reset(); }
+  Colls(const Colls&) = delete;
+  Colls& operator=(const Colls&) = delete;
+
+  // The dispatch points (called by Communicator; size() > 1 guaranteed).
+  void barrier(Communicator& c);
+  void bcast(Communicator& c, void* buf, std::size_t count,
+             const dtype::DatatypePtr& type, int root);
+  void reduce_sum(Communicator& c, const double* send, double* recv,
+                  std::size_t count, int root);
+  void allreduce_sum(Communicator& c, const double* send, double* recv,
+                     std::size_t count);
+
+  // Release device resources (NIC events, mapped slots, shared segments).
+  // Must run while the Elan4 devices are still open: World calls it before
+  // tearing down the PML in finalize() and migrate(). Idempotent.
+  void reset();
+
+ private:
+  static constexpr int kNicSlots = 2;
+
+  // A subgroup of a communicator taking part in one phase: position i
+  // holds the communicator rank of the i-th member. Flat collectives use
+  // the identity group; hierarchical inter phases use the leaders.
+  struct Group {
+    const std::vector<int>* ranks = nullptr;  // nullptr = identity
+    int n = 0;
+    int idx = -1;  // my position, -1 if not a member
+    int to_comm(int i) const {
+      return ranks != nullptr ? (*ranks)[static_cast<std::size_t>(i)] : i;
+    }
+  };
+
+  // Intra-node shared segment (one per node per communicator; all local
+  // ranks attach). Synchronization is by monotonic generation counters:
+  // each hierarchical collective is a round; writers set a counter to the
+  // round number, readers poll for >= round. The trailing ack sweep is
+  // what makes slot/out reuse in the next round safe.
+  struct ShmSeg {
+    struct Slot {
+      std::vector<std::uint8_t> data;
+      std::uint64_t in_gen = 0;   // local rank's contribution deposited
+      std::uint64_t ack_gen = 0;  // local rank consumed the round's result
+    };
+    std::vector<Slot> slots;        // one per local rank
+    std::vector<std::uint8_t> out;  // leader's published result
+    std::uint64_t out_gen = 0;
+  };
+
+  struct HierState {
+    bool built = false;
+    bool multi = false;        // any node hosts >= 2 ranks
+    std::vector<int> node_of;  // comm rank -> node id
+    std::vector<int> locals;   // comm ranks on my node (ascending)
+    int lidx = -1;             // my position in locals
+    std::vector<int> leaders;  // comm ranks, lowest rank per node
+    int leader_pos = -1;       // my position in leaders; -1 = not a leader
+    std::shared_ptr<ShmSeg> seg;
+    std::string shm_key;
+    std::uint64_t round = 0;
+  };
+
+  // Exchanged once per NIC-tree build: where each member's accumulator /
+  // result slots live and which event-table indices to fire. Unlike the
+  // hardware broadcast, nothing here must be symmetric across contexts —
+  // but the events ARE allocated uniformly on every rank (members or not)
+  // so the symmetric-index invariant hwcoll relies on stays intact.
+  struct NicPeerInfo {
+    elan4::Vpid vpid;
+    elan4::E4Addr acc[kNicSlots];
+    elan4::E4Addr res[kNicSlots];
+    std::int32_t up[kNicSlots];
+    std::int32_t down[kNicSlots];
+    std::int32_t capable;
+  };
+
+  struct NicState {
+    bool built = false;
+    bool usable = false;     // every group member has an Elan4 context
+    std::vector<int> group;  // tree index -> comm rank
+    int tidx = -1;           // my tree index; -1 = not a member
+    elan4::Elan4Device* dev = nullptr;
+    std::vector<double> acc[kNicSlots], res[kNicSlots];
+    elan4::E4Addr acc_addr[kNicSlots] = {}, res_addr[kNicSlots] = {};
+    elan4::E4Event* up[kNicSlots] = {nullptr, nullptr};
+    elan4::E4Event* down[kNicSlots] = {nullptr, nullptr};
+    elan4::E4Event* drain[kNicSlots] = {nullptr, nullptr};
+    std::vector<NicPeerInfo> peers;  // by tree index
+    int parent = -1;                 // tree indices
+    std::vector<int> children;
+    std::uint64_t seq = 0;
+  };
+
+  struct CommState {
+    HierState hier;
+    NicState nic_flat;     // tree over all comm ranks
+    NicState nic_leaders;  // tree over the node leaders
+  };
+
+  CommState& state(const Communicator& c);
+
+  // --- reference algorithms (reference.cc) ---
+  void ref_barrier(Communicator& c, int tag, const Group& g);
+  void ref_bcast(Communicator& c, int tag, const Group& g, int root_idx,
+                 void* buf, std::size_t count, const dtype::DatatypePtr& type);
+  void ref_reduce(Communicator& c, int tag, const Group& g, int root_idx,
+                  const double* send, double* recv, std::size_t count);
+  void linear_reduce(Communicator& c, int tag, const double* send, double* recv,
+                     std::size_t count, int root);
+  // In-place allreduce over the group (buf is both input and output).
+  void ref_allreduce_recdbl(Communicator& c, int tag, const Group& g,
+                            double* buf, std::size_t count);
+  void ref_allreduce_rsag(Communicator& c, int tag, const Group& g,
+                          double* buf, std::size_t count);
+  void ref_allreduce(Communicator& c, int tag, const Group& g, double* buf,
+                     std::size_t count);
+
+  // --- NIC combining tree (nic.cc) ---
+  void ensure_nic(Communicator& c, NicState& st, std::vector<int> group);
+  void prep_nic_slot(NicState& st, int slot);
+  // One tree round: count == 0 is a barrier, else an in-place allreduce of
+  // buf[0..count) (count * 8 must fit coll_nic_max_bytes).
+  void nic_round(NicState& st, double* buf, std::size_t count);
+
+  // --- hierarchical composition (hier.cc) ---
+  void ensure_hier(Communicator& c, CommState& st);
+  void hier_barrier(Communicator& c, int tag, CommState& st);
+  void hier_bcast(Communicator& c, int tag, CommState& st, void* buf,
+                  std::size_t count, const dtype::DatatypePtr& type, int root);
+  void hier_reduce(Communicator& c, int tag, CommState& st, const double* send,
+                   double* recv, std::size_t count, int root);
+  void hier_allreduce(Communicator& c, int tag, CommState& st,
+                      const double* send, double* recv, std::size_t count);
+  // Inter-node phases over the leader group (NIC when permitted + usable).
+  void inter_barrier(Communicator& c, int tag, CommState& st);
+  void inter_allreduce(Communicator& c, int tag, CommState& st, double* buf,
+                       std::size_t count);
+
+  // Shared-memory helpers (cost model: shm_flag_ns per flag hop, host
+  // memcpy rate for payload copies).
+  void shm_wait(const std::uint64_t& gen, std::uint64_t want);
+  void charge_flag();
+  void charge_copy(std::size_t bytes);
+
+  // Uniform-across-ranks heuristics for the kAuto rules.
+  bool hier_gate(const Communicator& c) const;
+  bool nic_gate(const Communicator& c, std::size_t bytes) const;
+
+  World& world_;
+  std::map<int, std::unique_ptr<CommState>> states_;  // by context id
+};
+
+}  // namespace oqs::mpi::coll

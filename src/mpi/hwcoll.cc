@@ -47,8 +47,15 @@ bool try_hw_bcast(Communicator& comm, World& world, void* buf, std::size_t len,
   }
   if (!agree) {
     // The global virtual address space is not intact (e.g. a dynamically
-    // joined process with a different allocation history).
-    if (dev != nullptr) dev->unmap(mine.addr);
+    // joined process with a different allocation history). Release the
+    // per-call events too: free_event() recycles the table slot through the
+    // free list in allocation order, so the symmetric-index invariant holds
+    // across calls without growing the table by two entries per call.
+    if (dev != nullptr) {
+      dev->free_event(arrive);
+      dev->free_event(injected);
+      dev->unmap(mine.addr);
+    }
     return false;
   }
 
@@ -62,6 +69,8 @@ bool try_hw_bcast(Communicator& comm, World& world, void* buf, std::size_t len,
   } else {
     while (!arrive->done()) dev->charge_poll();
   }
+  dev->free_event(arrive);
+  dev->free_event(injected);
   dev->unmap(mine.addr);
   return true;
 }
@@ -114,8 +123,15 @@ HwBcastGroup::HwBcastGroup(Communicator& comm, World& world, std::size_t max_byt
 }
 
 HwBcastGroup::~HwBcastGroup() {
-  if (dev_ != nullptr && staging_addr_ != elan4::kNullE4Addr)
-    dev_->unmap(staging_addr_);
+  if (dev_ == nullptr || dev_->closed()) return;
+  // Symmetric with the constructor: the kSlots arrival events and the
+  // injection event go back to the table's free list, not just the staging
+  // mapping — a long-lived job creating groups per phase must not grow the
+  // event table monotonically.
+  for (int s = 0; s < kSlots; ++s)
+    if (arrive_[s] != nullptr) dev_->free_event(arrive_[s]);
+  if (injected_ != nullptr) dev_->free_event(injected_);
+  if (staging_addr_ != elan4::kNullE4Addr) dev_->unmap(staging_addr_);
 }
 
 void HwBcastGroup::bcast(void* buf, std::size_t len, int root) {

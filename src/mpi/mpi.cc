@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "base/log.h"
+#include "mpi/coll/coll.h"
 #include "ptl/elan4/ptl_elan4.h"
 #include "ptl/tcp/ptl_tcp.h"
 
@@ -95,7 +96,26 @@ void Request::fill_status(RecvStatus* st) const {
 
 // ------------------------------------------------------- Communicator ----
 
-int Communicator::coll_tag() { return kCollTagBase + (coll_seq_++ & 0x0FFFFFFF); }
+// Reserved-tag sequence for collective traffic. The 64-bit sequence is
+// projected onto a 28-bit tag window, so after 2^28 collectives on one
+// communicator a tag value is reused. That is safe only if no message with
+// the same (context, tag) is still in flight: collectives are blocking and
+// per-communicator ordered, so a rank can be at most one collective — a
+// handful of tag values — ahead of the slowest peer, never 2^28. The
+// assertion checks the un-consumed-message direction (an in-flight message
+// carrying the tag we are about to reissue); the posted-recv direction
+// cannot alias because a blocking collective's recvs complete before it
+// returns.
+int Communicator::coll_tag() {
+  constexpr std::uint64_t kCollTagWindow = 1u << 28;
+  const int tag = kCollTagBase + static_cast<int>(coll_seq_ % kCollTagWindow);
+  if (coll_seq_ >= kCollTagWindow) {
+    assert(!world_->pml().iprobe(ctx_, pml::kAnySource, tag, nullptr) &&
+           "collective tag window wrapped onto an in-flight message");
+  }
+  ++coll_seq_;
+  return tag;
+}
 
 void Communicator::send(const void* buf, std::size_t count,
                         const dtype::DatatypePtr& type, int dst, int tag) {
@@ -178,67 +198,43 @@ void Communicator::probe(int src, int tag, RecvStatus* st) {
   }
 }
 
+// The routed collectives delegate to the framework (src/mpi/coll), which
+// selects among the reference point-to-point algorithms, the NIC-offloaded
+// combining tree and the hierarchical composition. The inline collectives
+// below (allgather etc.) stay point-to-point: the framework's collective
+// state builds use them, so routing them too would recurse.
+
 void Communicator::barrier() {
-  const int n = size();
-  if (n <= 1) return;
-  const int tag = coll_tag();
-  // Dissemination barrier: log2(n) rounds of paired zero-byte messages.
-  for (int step = 1; step < n; step <<= 1) {
-    const int dst = (rank_ + step) % n;
-    const int src = (rank_ - step + n) % n;
-    Request s = isend(nullptr, 0, dtype::byte_type(), dst, tag);
-    recv(nullptr, 0, dtype::byte_type(), src, tag);
-    s.wait();
-  }
+  if (size() <= 1) return;
+  world_->coll().barrier(*this);
 }
 
 void Communicator::bcast(void* buf, std::size_t count, const dtype::DatatypePtr& type,
                          int root) {
-  const int n = size();
-  if (n <= 1) return;
-  const int tag = coll_tag();
-  const int rel = (rank_ - root + n) % n;
-  // Binomial tree rooted at `root`.
-  int mask = 1;
-  while (mask < n) {
-    if (rel & mask) {
-      const int src = (rank_ - mask + n) % n;
-      recv(buf, count, type, src, tag);
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (rel + mask < n) {
-      const int dst = (rank_ + mask) % n;
-      send(buf, count, type, dst, tag);
-    }
-    mask >>= 1;
-  }
+  if (size() <= 1) return;
+  world_->coll().bcast(*this, buf, count, type, root);
 }
 
 void Communicator::reduce_sum(const double* send_buf, double* recv_buf,
                               std::size_t count, int root) {
-  const int n = size();
-  const int tag = coll_tag();
-  if (rank_ == root) {
-    std::memcpy(recv_buf, send_buf, count * sizeof(double));
-    std::vector<double> tmp(count);
-    for (int r = 0; r < n; ++r) {
-      if (r == root) continue;
-      recv(tmp.data(), count, dtype::double_type(), r, tag);
-      for (std::size_t i = 0; i < count; ++i) recv_buf[i] += tmp[i];
-    }
-  } else {
-    send(send_buf, count, dtype::double_type(), root, tag);
+  if (size() <= 1) {
+    // memcpy with identical pointers is UB, and MPI_IN_PLACE-style callers
+    // do pass send == recv — the original linear algorithm's root bug.
+    if (recv_buf != send_buf)
+      std::memcpy(recv_buf, send_buf, count * sizeof(double));
+    return;
   }
+  world_->coll().reduce_sum(*this, send_buf, recv_buf, count, root);
 }
 
 void Communicator::allreduce_sum(const double* send_buf, double* recv_buf,
                                  std::size_t count) {
-  reduce_sum(send_buf, recv_buf, count, 0);
-  bcast(recv_buf, count, dtype::double_type(), 0);
+  if (size() <= 1) {
+    if (recv_buf != send_buf)
+      std::memcpy(recv_buf, send_buf, count * sizeof(double));
+    return;
+  }
+  world_->coll().allreduce_sum(*this, send_buf, recv_buf, count);
 }
 
 void Communicator::allgather(const void* send_buf, std::size_t bytes_each,
@@ -457,6 +453,7 @@ void World::open_stack() {
   pml_->peer_resolver = [this](int gid) {
     return deserialize_contacts(env_.rte->registry().get(proc_key(gid)));
   };
+  coll_ = std::make_unique<coll::Colls>(*this);
 }
 
 void World::migrate(int new_node) {
@@ -464,6 +461,13 @@ void World::migrate(int new_node) {
   // Connection sequence state is part of the checkpoint: peers keep their
   // counters, so the rebuilt stack must resume counting where it stopped.
   const pml::Pml::SequenceState seqs = pml_->export_sequences();
+  // Collective state is placement-bound (NIC trees hold peer addresses and
+  // event indices; the shared segment lives on the old node), so it is
+  // released before the device context goes away and rebuilt lazily after.
+  // The kAuto gates guarantee no such state exists for communicators small
+  // enough to migrate under (see Colls::hier_gate / nic_gate); forcing a
+  // coll algorithm and then migrating mid-job is unsupported.
+  coll_.reset();
   pml_->finalize();  // quiesce + goodbyes + release the old context
   pml_.reset();
   env_.node = new_node;
@@ -537,7 +541,10 @@ void World::finalize() {
   finalized_ = true;
   // Applications synchronize (e.g. a barrier) before finalize; here we only
   // quiesce our own traffic and leave (paper §4.1's synchronous completion
-  // of pending messages before a connection finalizes).
+  // of pending messages before a connection finalizes). Collective device
+  // state (NIC tree events/mappings) must go first, while the context is
+  // still open.
+  coll_.reset();
   pml_->finalize();
   env_.rte->oob().remove_endpoint(env_.oob_id);
 }

@@ -24,6 +24,7 @@
 
 #include "dtype/datatype.h"
 #include "elan4/qsnet.h"
+#include "mpi/coll/options.h"
 #include "pml/pml.h"
 #include "pml/request.h"
 #include "ptl/elan4/options.h"
@@ -34,6 +35,10 @@ class PtlElan4;
 }
 
 namespace oqs::mpi {
+
+namespace coll {
+class Colls;
+}
 
 inline constexpr int kAnySource = pml::kAnySource;
 inline constexpr int kAnyTag = pml::kAnyTag;
@@ -61,6 +66,9 @@ struct Options {
   std::size_t pipeline_frag_bytes = 0;
   int pipeline_depth = 0;
   int pipeline_push_frags = -1;
+  // Collective-algorithm selection (see mpi/coll/options.h and DESIGN.md
+  // §Collectives): kAuto everywhere by default.
+  coll::CollOptions coll;
 };
 
 struct RecvStatus {
@@ -149,6 +157,7 @@ class Communicator {
 
  private:
   friend class World;
+  friend class coll::Colls;
   Communicator(World* w, int ctx, int rank, std::vector<int> gids)
       : world_(w), ctx_(ctx), rank_(rank), gids_(std::move(gids)) {}
 
@@ -158,7 +167,10 @@ class Communicator {
   int ctx_ = 0;
   int rank_ = -1;
   std::vector<int> gids_;  // rank -> global process id
-  int coll_seq_ = 0;
+  // Collective sequence number. 64-bit so the counter itself never wraps:
+  // only its 28-bit projection onto the tag space does, and coll_tag()
+  // asserts that projection never lands on an in-flight tag.
+  std::uint64_t coll_seq_ = 0;
 };
 
 class World {
@@ -175,6 +187,9 @@ class World {
   int gid() const { return gid_; }
   Communicator& comm() { return *comm_; }
   pml::Pml& pml() { return *pml_; }
+  // The collectives framework (algorithm dispatch + cached per-communicator
+  // state); rebuilt with the stack on migrate().
+  coll::Colls& coll() { return *coll_; }
   // The Elan4 PTL module, when enabled (one-sided windows need its device).
   ptl_elan4::PtlElan4* elan4_ptl();
   // A specific rail's module ("elan4", "elan4.1", ...); nullptr if absent.
@@ -224,6 +239,7 @@ class World {
   Options opts_;
   int gid_ = -1;
   std::unique_ptr<pml::Pml> pml_;
+  std::unique_ptr<coll::Colls> coll_;
   std::unique_ptr<Communicator> comm_;
   int next_ctx_ = 1;
   int spawn_seq_ = 0;

@@ -4,6 +4,8 @@
 // their own modules; sim keeps the node minimal.
 #pragma once
 
+#include <map>
+#include <memory>
 #include <string>
 
 #include "base/params.h"
@@ -31,11 +33,28 @@ class Node {
     return irq_free_at_;
   }
 
+  // Named shared-memory segments: process fibers placed on this node attach
+  // to one object per key (the intra-node phase of hierarchical
+  // collectives). The first attacher's make() result is kept until the last
+  // shared_ptr drops AND shm_unlink() removes the name.
+  template <typename T, typename Make>
+  std::shared_ptr<T> shm_attach(const std::string& key, Make make) {
+    auto it = shm_.find(key);
+    if (it == shm_.end()) {
+      std::shared_ptr<T> seg = make();
+      shm_.emplace(key, seg);
+      return seg;
+    }
+    return std::static_pointer_cast<T>(it->second);
+  }
+  void shm_unlink(const std::string& key) { shm_.erase(key); }
+
  private:
   int id_;
   std::string name_;
   Cpu cpu_;
   Time irq_free_at_ = 0;
+  std::map<std::string, std::shared_ptr<void>> shm_;
 };
 
 }  // namespace oqs::sim

@@ -19,6 +19,12 @@ namespace oqs::test {
 //                     a small value forces multi-fragment schedules on
 //                     every long message in the suite
 //   OQS_TEST_DEPTH=N  pipelined-rendezvous per-rail depth override
+//   OQS_TEST_COLL=M   force a collectives mode for every routed collective:
+//                     p2p (reference algorithms only), nic (NIC combining
+//                     tree for barrier/allreduce), hier (hierarchical, p2p
+//                     inter phase), hiernic (hierarchical with NIC inter
+//                     phase). Applied only when the test left every coll
+//                     knob at kAuto.
 inline int env_rails() {
   const char* v = std::getenv("OQS_TEST_RAILS");
   const int n = v != nullptr ? std::atoi(v) : 1;
@@ -40,6 +46,37 @@ inline int env_depth() {
   const char* v = std::getenv("OQS_TEST_DEPTH");
   const int n = v != nullptr ? std::atoi(v) : 0;
   return n > 0 ? n : 0;
+}
+
+// Maps OQS_TEST_COLL onto opts.coll; no-op when unset or unrecognized.
+inline void env_coll(mpi::coll::CollOptions* coll) {
+  const char* v = std::getenv("OQS_TEST_COLL");
+  if (v == nullptr) return;
+  const std::string mode(v);
+  using namespace mpi::coll;
+  if (mode == "p2p") {
+    coll->barrier = BarrierAlg::kDissemination;
+    coll->bcast = BcastAlg::kBinomial;
+    coll->reduce = ReduceAlg::kBinomial;
+    coll->allreduce = AllreduceAlg::kRecursiveDoubling;
+    coll->hier = false;
+    coll->nic = false;
+  } else if (mode == "nic") {
+    coll->barrier = BarrierAlg::kNic;
+    coll->allreduce = AllreduceAlg::kNic;
+    coll->hier = false;
+  } else if (mode == "hier") {
+    coll->barrier = BarrierAlg::kHier;
+    coll->bcast = BcastAlg::kHier;
+    coll->reduce = ReduceAlg::kHier;
+    coll->allreduce = AllreduceAlg::kHier;
+    coll->nic = false;
+  } else if (mode == "hiernic") {
+    coll->barrier = BarrierAlg::kHier;
+    coll->bcast = BcastAlg::kHier;
+    coll->reduce = ReduceAlg::kHier;
+    coll->allreduce = AllreduceAlg::kHier;
+  }
 }
 
 struct TestBed {
@@ -73,6 +110,7 @@ struct TestBed {
       if (opts.use_elan4 && !opts.use_tcp && env_tcp()) opts.use_tcp = true;
       if (opts.pipeline_frag_bytes == 0) opts.pipeline_frag_bytes = env_frag();
       if (opts.pipeline_depth == 0) opts.pipeline_depth = env_depth();
+      if (opts.coll.all_auto()) env_coll(&opts.coll);
     }
     auto shared = std::make_shared<std::function<void(mpi::World&)>>(std::move(body));
     rt->launch(n, [this, opts, shared](rte::Env& env) {
