@@ -105,6 +105,17 @@ class FaultInjector {
 
   void set_corruption(double prob) { default_.corrupt = prob; }
 
+  // True when no fault mechanism is armed anywhere: no dead rails, and no
+  // profile (default or per-link) with any non-zero probability. While
+  // quiescent, fault handling consumes no RNG, so a fast path that skips
+  // the per-packet rolls entirely cannot desynchronize the fault schedule.
+  bool quiescent() const {
+    if (!dead_rails_.empty() || default_.any()) return false;
+    for (const auto& [key, profile] : links_)
+      if (profile.any()) return false;
+    return true;
+  }
+
   // Hard-kill a rail: every packet on it — any traffic class — vanishes.
   // Deterministic (no RNG draw), so killing a rail never perturbs the fault
   // schedule of surviving rails.

@@ -1,0 +1,21 @@
+#include "net/link.h"
+
+namespace oqs::net {
+
+std::string Link::name() const {
+  switch (kind_) {
+    case Kind::kNodeToSwitch:
+      return "n" + std::to_string(node_) + ">sw";
+    case Kind::kSwitchToNode:
+      return "sw>n" + std::to_string(node_);
+    case Kind::kFatTreeUp:
+      return "n" + std::to_string(node_) + ".up" + std::to_string(level_);
+    case Kind::kFatTreeDown:
+      return "n" + std::to_string(node_) + ".dn" + std::to_string(level_);
+    case Kind::kEthernet:
+      return "eth" + std::to_string(node_);
+  }
+  return "link?";
+}
+
+}  // namespace oqs::net

@@ -3,6 +3,17 @@
 // Serialization time is charged per packet; back-to-back packets queue on
 // `free_at`, which is how bandwidth sharing and saturation emerge in the
 // benchmarks instead of being curve-fit.
+//
+// Occupancy is lazy: a queued packet costs one reserve() call — arithmetic
+// on `free_at_` — not a simulator event. The fabric schedules only the
+// head-arrival and delivery instants it actually needs, so a saturated link
+// with a deep queue adds no event-queue pressure.
+//
+// Identity is structural, not textual. A 2048-node quaternary fat tree
+// carries ~25k directed links; a std::string per link is a heap allocation
+// and a cache-line of cold pointer-chasing apiece, so a Link stores which
+// topology port it is (kind, node, level) in 8 bytes and builds its
+// human-readable name on demand for logs and debugging.
 #pragma once
 
 #include <cstdint>
@@ -14,9 +25,24 @@ namespace oqs::net {
 
 class Link {
  public:
-  explicit Link(std::string name) : name_(std::move(name)) {}
+  enum class Kind : std::uint8_t {
+    kNodeToSwitch,  // "n%d>sw"    (SingleSwitch up)
+    kSwitchToNode,  // "sw>n%d"    (SingleSwitch down)
+    kFatTreeUp,     // "n%d.up%d"  (fat-tree up-path, level in `level`)
+    kFatTreeDown,   // "n%d.dn%d"  (fat-tree down-path, level in `level`)
+    kEthernet,      // "eth%d"     (management network)
+  };
 
-  const std::string& name() const { return name_; }
+  Link() = default;
+  Link(Kind kind, std::int32_t node, std::int16_t level = 0)
+      : node_(node), level_(level), kind_(kind) {}
+
+  // Human-readable name, built on demand (cold path: logs, tests).
+  std::string name() const;
+
+  Kind kind() const { return kind_; }
+  std::int32_t node() const { return node_; }
+  std::int16_t level() const { return level_; }
 
   // Reserve the link for a packet whose head arrives at `head_arrival` and
   // whose serialization takes `tx_ns`. Returns the actual departure time
@@ -34,10 +60,12 @@ class Link {
   std::uint64_t packets() const { return packets_; }
 
  private:
-  std::string name_;
   sim::Time free_at_ = 0;
   sim::Time busy_ns_ = 0;
   std::uint64_t packets_ = 0;
+  std::int32_t node_ = -1;
+  std::int16_t level_ = 0;
+  Kind kind_ = Kind::kNodeToSwitch;
 };
 
 }  // namespace oqs::net

@@ -1,15 +1,16 @@
 #include "net/topology.h"
 
 #include <cassert>
-#include <string>
 
 namespace oqs::net {
 
 SingleSwitch::SingleSwitch(int nodes) {
   assert(nodes >= 1 && nodes <= 8 && "QS-8A connects up to 8 nodes");
+  up_.reserve(static_cast<std::size_t>(nodes));
+  down_.reserve(static_cast<std::size_t>(nodes));
   for (int i = 0; i < nodes; ++i) {
-    up_.push_back(std::make_unique<Link>("n" + std::to_string(i) + ">sw"));
-    down_.push_back(std::make_unique<Link>("sw>n" + std::to_string(i)));
+    up_.emplace_back(Link::Kind::kNodeToSwitch, i);
+    down_.emplace_back(Link::Kind::kSwitchToNode, i);
   }
 }
 
@@ -17,8 +18,8 @@ void SingleSwitch::route(int src, int dst, std::vector<Link*>& out) {
   out.clear();
   if (src == dst) return;
   assert(src >= 0 && src < num_nodes() && dst >= 0 && dst < num_nodes());
-  out.push_back(up_[static_cast<std::size_t>(src)].get());
-  out.push_back(down_[static_cast<std::size_t>(dst)].get());
+  out.push_back(&up_[static_cast<std::size_t>(src)]);
+  out.push_back(&down_[static_cast<std::size_t>(dst)]);
 }
 
 QuaternaryFatTree::QuaternaryFatTree(int nodes) : nodes_(nodes) {
@@ -29,14 +30,15 @@ QuaternaryFatTree::QuaternaryFatTree(int nodes) : nodes_(nodes) {
     cap *= 4;
     ++levels_;
   }
-  up_.resize(static_cast<std::size_t>(nodes));
-  down_.resize(static_cast<std::size_t>(nodes));
+  const std::size_t total =
+      static_cast<std::size_t>(nodes) * static_cast<std::size_t>(levels_);
+  up_.reserve(total);
+  down_.reserve(total);
   for (int i = 0; i < nodes; ++i) {
     for (int l = 0; l < levels_; ++l) {
-      up_[static_cast<std::size_t>(i)].push_back(std::make_unique<Link>(
-          "n" + std::to_string(i) + ".up" + std::to_string(l)));
-      down_[static_cast<std::size_t>(i)].push_back(std::make_unique<Link>(
-          "n" + std::to_string(i) + ".dn" + std::to_string(l)));
+      up_.emplace_back(Link::Kind::kFatTreeUp, i, static_cast<std::int16_t>(l));
+      down_.emplace_back(Link::Kind::kFatTreeDown, i,
+                         static_cast<std::int16_t>(l));
     }
   }
 }
@@ -67,10 +69,8 @@ void QuaternaryFatTree::route(int src, int dst, std::vector<Link*>& out) {
   assert(src >= 0 && src < nodes_ && dst >= 0 && dst < nodes_);
   const int h = climb(src, dst);
   assert(h <= levels_);
-  for (int l = 0; l < h; ++l)
-    out.push_back(up_[static_cast<std::size_t>(src)][static_cast<std::size_t>(l)].get());
-  for (int l = h - 1; l >= 0; --l)
-    out.push_back(down_[static_cast<std::size_t>(dst)][static_cast<std::size_t>(l)].get());
+  for (int l = 0; l < h; ++l) out.push_back(&up(src, l));
+  for (int l = h - 1; l >= 0; --l) out.push_back(&down(dst, l));
 }
 
 }  // namespace oqs::net

@@ -6,7 +6,6 @@
 //   (the standard Quadrics routing discipline).
 #pragma once
 
-#include <memory>
 #include <vector>
 
 #include "net/link.h"
@@ -33,8 +32,10 @@ class SingleSwitch final : public Topology {
   void route(int src, int dst, std::vector<Link*>& out) override;
 
  private:
-  std::vector<std::unique_ptr<Link>> up_;    // node -> switch
-  std::vector<std::unique_ptr<Link>> down_;  // switch -> node
+  // By-value, sized once at construction: addresses handed out by route()
+  // stay stable for the topology's lifetime.
+  std::vector<Link> up_;    // node -> switch
+  std::vector<Link> down_;  // switch -> node
 };
 
 class QuaternaryFatTree final : public Topology {
@@ -51,12 +52,24 @@ class QuaternaryFatTree final : public Topology {
   // of trailing base-4 digits in which src and dst differ.
   int climb(int src, int dst) const;
 
+  // up(n, l) is the link from level-l toward level-l+1 on node n's
+  // deterministic up-path; down(n, l) mirrors it on the down-path. Flat
+  // node-major arrays, sized once at construction (stable addresses): at
+  // 2048 nodes x 6 levels that is ~25k links in two contiguous blocks
+  // instead of ~25k separate heap objects behind two pointer forests.
+  Link& up(int node, int l) {
+    return up_[static_cast<std::size_t>(node) * static_cast<std::size_t>(levels_) +
+               static_cast<std::size_t>(l)];
+  }
+  Link& down(int node, int l) {
+    return down_[static_cast<std::size_t>(node) * static_cast<std::size_t>(levels_) +
+                 static_cast<std::size_t>(l)];
+  }
+
   int nodes_;
   int levels_;  // n in "4-ary n-tree"
-  // up_[node][l] is the link from level-l toward level-l+1 on node's
-  // deterministic up-path; down_[node][l] mirrors it on the down-path.
-  std::vector<std::vector<std::unique_ptr<Link>>> up_;
-  std::vector<std::vector<std::unique_ptr<Link>>> down_;
+  std::vector<Link> up_;
+  std::vector<Link> down_;
 };
 
 }  // namespace oqs::net

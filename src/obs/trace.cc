@@ -11,7 +11,6 @@ namespace oqs::obs {
 
 namespace {
 
-Tracer* g_tracer = nullptr;
 std::function<TimeNs()> g_clock;
 
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
@@ -47,8 +46,7 @@ void write_escaped(std::ostream& os, const char* s) {
 
 }  // namespace
 
-Tracer* tracer() { return g_tracer; }
-void set_tracer(Tracer* t) { g_tracer = t; }
+void set_tracer(Tracer* t) { detail::g_tracer = t; }
 void set_clock(std::function<TimeNs()> now_ns) { g_clock = std::move(now_ns); }
 TimeNs now_ns() { return g_clock ? g_clock() : 0; }
 

@@ -85,8 +85,13 @@ class Tracer {
 // --- global installation -------------------------------------------------
 // The simulation is single-threaded, so a plain global suffices. The engine
 // installs the clock (like log::set_clock); benches/tests install a Tracer
-// for the duration of a run.
-Tracer* tracer();
+// for the duration of a run. tracer() sits on the event-dispatch hot path —
+// an inline variable keeps the not-tracing case to one load and a
+// never-taken branch instead of a cross-TU call.
+namespace detail {
+inline Tracer* g_tracer = nullptr;
+}
+inline Tracer* tracer() { return detail::g_tracer; }
 void set_tracer(Tracer* t);
 void set_clock(std::function<TimeNs()> now_ns);
 TimeNs now_ns();

@@ -1,6 +1,8 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "base/log.h"
 #include "obs/metrics.h"
@@ -8,7 +10,21 @@
 
 namespace oqs::sim {
 
-Engine::Engine() {
+namespace {
+constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+constexpr std::size_t kMinStackBytes = 64 * 1024;
+constexpr char kCanaryByte = 0x5C;
+
+std::size_t initial_stack_bytes() {
+  const char* v = std::getenv("OQS_SIM_STACK_BYTES");
+  if (v == nullptr || v[0] == '\0') return kDefaultStackBytes;
+  const long long n = std::atoll(v);
+  if (n < static_cast<long long>(kMinStackBytes)) return kMinStackBytes;
+  return static_cast<std::size_t>(n);
+}
+}  // namespace
+
+Engine::Engine() : stack_bytes_(initial_stack_bytes()) {
   log::set_clock([this] { return now_; });
   obs::set_clock([this] { return now_; });
 }
@@ -16,6 +32,46 @@ Engine::Engine() {
 Engine::~Engine() {
   log::set_clock(nullptr);
   obs::set_clock(nullptr);
+}
+
+void Engine::set_stack_bytes(std::size_t bytes) {
+  if (bytes < kMinStackBytes) bytes = kMinStackBytes;
+  if (bytes != stack_bytes_) stack_pool_.clear();  // pooled stacks are sized
+  stack_bytes_ = bytes;
+}
+
+void Engine::arm_canary(char* base) {
+  std::memset(base, kCanaryByte, kStackCanaryBytes);
+}
+
+bool Engine::canary_ok(const char* base) {
+  for (std::size_t i = 0; i < kStackCanaryBytes; ++i)
+    if (base[i] != kCanaryByte) return false;
+  return true;
+}
+
+std::unique_ptr<char[]> Engine::acquire_stack() {
+  if (!stack_pool_.empty()) {
+    std::unique_ptr<char[]> s = std::move(stack_pool_.back());
+    stack_pool_.pop_back();
+    return s;  // canary still armed from release_stack()
+  }
+  ++stacks_allocated_;
+  auto s = std::make_unique<char[]>(stack_bytes_);
+  arm_canary(s.get());
+  return s;
+}
+
+void Engine::release_stack(std::unique_ptr<char[]> stack, std::size_t bytes) {
+  if (stack == nullptr) return;
+  if (!canary_ok(stack.get())) {
+    ++canary_violations_;
+    OQS_METRIC_INC("sim.fiber.stack_overflows");
+    log::error("sim", "fiber stack canary destroyed (stack overflow?); "
+               "dropping the stack — raise OQS_SIM_STACK_BYTES");
+    return;  // do not recycle a stack something wrote past
+  }
+  if (bytes == stack_bytes_) stack_pool_.push_back(std::move(stack));
 }
 
 Fiber* Engine::spawn(std::string name, std::function<void()> body) {
@@ -61,24 +117,25 @@ void Engine::resume(Fiber* f) {
   current_ = prev;
 }
 
-void Engine::dispatch_one(Time when) {
-  EventQueue::Callback cb = queue_.pop(&now_);
-  (void)when;
+void Engine::dispatch_one() {
+  EventQueue::Event* ev = queue_.pop(&now_);
   ++events_executed_;
   // Hot path: with OQS_TRACE=OFF this compiles away; with it ON but no
   // tracer installed it is one load and a never-taken branch. Every
   // dispatched event enters the digest, so the replay fingerprint covers
   // the DES's complete execution order, not just protocol milestones.
   OQS_TRACE_INSTANT(-1, "sim", "dispatch", "n", events_executed_);
-  cb();
+  EventQueue::run(ev);
+  queue_.recycle(ev);
 }
 
 Time Engine::run() {
   running_ = true;
   stopped_ = false;
+  reap();  // a deferred reap from a nested run resolves at top-level entry
   while (!queue_.empty() && !stopped_) {
-    dispatch_one(queue_.next_time());
-    if ((events_executed_ & 0xffff) == 0) reap();
+    dispatch_one();
+    if (reap_pending_ || (events_executed_ & 0xffff) == 0) reap();
   }
   running_ = false;
   reap();
@@ -88,9 +145,10 @@ Time Engine::run() {
 Time Engine::run_until(Time deadline) {
   running_ = true;
   stopped_ = false;
+  reap();
   while (!queue_.empty() && !stopped_ && queue_.next_time() <= deadline) {
-    dispatch_one(queue_.next_time());
-    if ((events_executed_ & 0xffff) == 0) reap();
+    dispatch_one();
+    if (reap_pending_ || (events_executed_ & 0xffff) == 0) reap();
   }
   running_ = false;
   if (now_ < deadline) now_ = deadline;
@@ -106,8 +164,14 @@ std::size_t Engine::live_fibers() const {
 
 void Engine::reap() {
   // Finished fibers are destroyed only from the engine loop (never from
-  // inside another fiber) so no live stack is freed under its own feet.
-  if (current_ != nullptr) return;
+  // inside another fiber) so no live stack is freed under its own feet. A
+  // request arriving while a fiber is current — run_until() driven from
+  // fiber context ends this way — is deferred, not dropped.
+  if (current_ != nullptr) {
+    reap_pending_ = true;
+    return;
+  }
+  reap_pending_ = false;
   std::erase_if(fibers_, [](const auto& f) { return f->done(); });
 }
 

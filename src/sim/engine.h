@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -28,13 +29,17 @@ class Engine {
 
   Time now() const { return now_; }
 
-  // Schedule a plain callback `delay` ns from now.
-  void schedule(Time delay, std::function<void()> cb) {
-    queue_.push(now_ + delay, std::move(cb));
+  // Schedule a callback `delay` ns from now. Any move-constructible
+  // callable goes straight into the queue's pooled node storage — no
+  // std::function wrapper, no per-event allocation for small captures.
+  template <typename F>
+  void schedule(Time delay, F&& cb) {
+    queue_.push(now_ + delay, std::forward<F>(cb));
   }
-  void schedule_at(Time when, std::function<void()> cb) {
+  template <typename F>
+  void schedule_at(Time when, F&& cb) {
     assert(when >= now_);
-    queue_.push(when, std::move(cb));
+    queue_.push(when, std::forward<F>(cb));
   }
 
   // Create a fiber that starts running at the current time.
@@ -59,20 +64,50 @@ class Engine {
   void stop() { stopped_ = true; }
 
   std::size_t live_fibers() const;
+  // All fibers currently held, finished-but-unreaped ones included.
+  std::size_t fiber_count() const { return fibers_.size(); }
   std::uint64_t events_executed() const { return events_executed_; }
+
+  // --- Fiber stack pool ---
+  // Stacks are recycled through a free list when fibers are reaped; the
+  // size knob applies to subsequently spawned fibers (a change drops the
+  // pooled stacks of the old size). Default 256 KiB, overridable with the
+  // OQS_SIM_STACK_BYTES environment variable; clamped to >= 64 KiB.
+  std::size_t stack_bytes() const { return stack_bytes_; }
+  void set_stack_bytes(std::size_t bytes);
+  std::uint64_t stacks_allocated() const { return stacks_allocated_; }
+  std::size_t pooled_stacks() const { return stack_pool_.size(); }
+  // Overflow canary: the low (overflow-target) bytes of every stack carry a
+  // pattern checked when the stack is recycled; a violated stack is counted,
+  // reported, and dropped instead of reused.
+  std::uint64_t stack_canary_violations() const { return canary_violations_; }
 
  private:
   friend class Fiber;
-  void dispatch_one(Time when);
+  void dispatch_one();
   void resume(Fiber* f);
   void reap();
+
+  std::unique_ptr<char[]> acquire_stack();
+  void release_stack(std::unique_ptr<char[]> stack, std::size_t bytes);
+  static void arm_canary(char* base);
+  static bool canary_ok(const char* base);
 
   EventQueue queue_;
   Time now_ = 0;
   bool stopped_ = false;
   bool running_ = false;
+  // A reap requested while a fiber was current (a nested run_until() from
+  // fiber context, or a stop() that unwound mid-dispatch) must not be
+  // dropped: it is deferred to the next time the engine loop owns the
+  // stack, where freeing fiber stacks is safe.
+  bool reap_pending_ = false;
   Fiber* current_ = nullptr;
   ucontext_t loop_ctx_{};
+  std::size_t stack_bytes_;
+  std::vector<std::unique_ptr<char[]>> stack_pool_;
+  std::uint64_t stacks_allocated_ = 0;
+  std::uint64_t canary_violations_ = 0;
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::uint64_t events_executed_ = 0;
 };

@@ -15,20 +15,24 @@ namespace {
 Fiber* g_starting = nullptr;
 }  // namespace
 
-Fiber::Fiber(Engine& engine, std::string name, std::function<void()> body,
-             std::size_t stack_bytes)
+Fiber::Fiber(Engine& engine, std::string name, std::function<void()> body)
     : engine_(engine),
       name_(std::move(name)),
       body_(std::move(body)),
-      stack_(new char[stack_bytes]) {
+      stack_(engine.acquire_stack()),
+      stack_bytes_(engine.stack_bytes()) {
   getcontext(&ctx_);
-  ctx_.uc_stack.ss_sp = stack_.get();
-  ctx_.uc_stack.ss_size = stack_bytes;
+  // The canary region sits below the usable stack, so a deep enough
+  // overflow scribbles over it before leaving the allocation.
+  ctx_.uc_stack.ss_sp = stack_.get() + kStackCanaryBytes;
+  ctx_.uc_stack.ss_size = stack_bytes_ - kStackCanaryBytes;
   ctx_.uc_link = nullptr;  // finished fibers swap back explicitly
   makecontext(&ctx_, &Fiber::trampoline, 0);
 }
 
-Fiber::~Fiber() = default;
+Fiber::~Fiber() {
+  engine_.release_stack(std::move(stack_), stack_bytes_);
+}
 
 void Fiber::trampoline() {
   Fiber* self = g_starting;

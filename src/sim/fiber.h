@@ -3,7 +3,9 @@
 // Every simulated thread of control — an MPI process, a progress thread, a
 // spawned dynamic process — is a Fiber. Fibers run on the single host thread
 // and switch only at explicit blocking points, so the simulation stays
-// deterministic.
+// deterministic. Stacks come from the engine's pool: reaped fibers return
+// theirs for reuse, and the low (overflow-target, stacks grow down) bytes
+// carry a canary pattern the engine checks before recycling.
 #pragma once
 
 #include <ucontext.h>
@@ -17,12 +19,15 @@ namespace oqs::sim {
 
 class Engine;
 
+// Bytes at the bottom of every stack reserved for the overflow canary; the
+// usable stack handed to makecontext() starts above them.
+inline constexpr std::size_t kStackCanaryBytes = 64;
+
 class Fiber {
  public:
   enum class State { kReady, kRunning, kBlocked, kDone };
 
-  Fiber(Engine& engine, std::string name, std::function<void()> body,
-        std::size_t stack_bytes = 256 * 1024);
+  Fiber(Engine& engine, std::string name, std::function<void()> body);
   ~Fiber();
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
@@ -30,6 +35,10 @@ class Fiber {
   const std::string& name() const { return name_; }
   State state() const { return state_; }
   bool done() const { return state_ == State::kDone; }
+
+  // Base of the stack allocation (the canary region). Exposed so tests can
+  // exercise the overflow detection without a real 256 KiB-deep recursion.
+  char* stack_base_for_test() { return stack_.get(); }
 
  private:
   friend class Engine;
@@ -43,6 +52,7 @@ class Fiber {
   std::string name_;
   std::function<void()> body_;
   std::unique_ptr<char[]> stack_;
+  std::size_t stack_bytes_;
   ucontext_t ctx_{};
   ucontext_t* return_ctx_ = nullptr;
   State state_ = State::kReady;

@@ -1,0 +1,220 @@
+// Fluid bulk-transfer conformance (params.fluid_bulk): while the fault
+// machinery is quiescent the NIC folds a multi-fragment RDMA train into one
+// completion event. These tests prove the fast path is indistinguishable
+// from the per-fragment path in everything observable — delivered bytes,
+// initiator and target completion times, status — while executing fewer
+// kernel events, and that any armed fault profile forces the per-fragment
+// fallback, RNG schedule included.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "elan4/device.h"
+#include "elan4/qsnet.h"
+#include "sim/rng.h"
+#include "testbed.h"
+
+namespace oqs::elan4 {
+namespace {
+
+struct Outcome {
+  sim::Time local_done = 0;   // initiator completion (write ack / read done)
+  sim::Time remote_done = 0;  // remote-event fire at the data's destination
+  Status status = Status::kOk;
+  std::vector<std::uint8_t> dst;
+  std::uint64_t events = 0;  // total kernel events for the whole run
+  std::uint64_t corruptions = 0;
+};
+
+std::vector<std::uint8_t> payload(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  sim::Rng rng(1234);
+  rng.fill(v.data(), v.size());
+  return v;
+}
+
+// One complete rdma_write run on a fresh simulation. src_n == dst_n
+// exercises NIC loopback on a single device.
+Outcome run_write(bool fluid, int nodes, int src_n, int dst_n,
+                  std::uint32_t len, double corrupt_prob = 0.0) {
+  sim::Engine engine;
+  ModelParams params;
+  params.fluid_bulk = fluid;
+  QsNet net(engine, params, nodes);
+  if (corrupt_prob > 0) {
+    net::FaultProfile fp;
+    fp.corrupt = corrupt_prob;
+    net.set_faults(fp, /*seed=*/99);
+  }
+  std::unique_ptr<Elan4Device> sdev = net.open(src_n);
+  std::unique_ptr<Elan4Device> ddev = src_n == dst_n ? nullptr : net.open(dst_n);
+  Elan4Device* dd = ddev != nullptr ? ddev.get() : sdev.get();
+
+  Outcome out;
+  out.dst.assign(len, 0);
+  std::vector<std::uint8_t> src = payload(len);
+  // Allocated before the fibers start: alloc_event is pure host-side state
+  // (no simulated time), and the watcher needs the pointer on first entry.
+  E4Event* remote = dd->alloc_event("fl-remote");
+  remote->init(1);
+
+  engine.spawn("writer", [&] {
+    E4Addr rsrc = sdev->map(src.data(), src.size());
+    E4Addr rdst = dd->map(out.dst.data(), out.dst.size());
+    E4Event* local = sdev->alloc_event("fl-local");
+    local->init(1);
+    sdev->rdma_write(dd->vpid(), rsrc, rdst, len, local, remote);
+    local->wait_block();
+    out.local_done = engine.now();
+    out.status = local->status();
+  });
+  engine.spawn("watcher", [&] {
+    remote->wait_block();
+    out.remote_done = engine.now();
+  });
+  engine.run();
+  out.events = engine.events_executed();
+  out.corruptions = net.corruptions();
+  return out;
+}
+
+// One complete rdma_read run: `reader` pulls len bytes out of `owner`.
+Outcome run_read(bool fluid, int nodes, int owner_n, int reader_n,
+                 std::uint32_t len) {
+  sim::Engine engine;
+  ModelParams params;
+  params.fluid_bulk = fluid;
+  QsNet net(engine, params, nodes);
+  std::unique_ptr<Elan4Device> odev = net.open(owner_n);
+  std::unique_ptr<Elan4Device> rdev = net.open(reader_n);
+
+  Outcome out;
+  out.dst.assign(len, 0);
+  std::vector<std::uint8_t> src = payload(len);
+
+  engine.spawn("reader", [&] {
+    E4Addr raddr = odev->map(src.data(), src.size());
+    E4Addr laddr = rdev->map(out.dst.data(), out.dst.size());
+    E4Event* done = rdev->alloc_event("fl-read");
+    done->init(1);
+    rdev->rdma_read(odev->vpid(), raddr, laddr, len, done);
+    done->wait_block();
+    out.local_done = engine.now();
+    out.status = done->status();
+  });
+  engine.run();
+  out.events = engine.events_executed();
+  return out;
+}
+
+void expect_write_conformant(int nodes, int src_n, int dst_n,
+                             std::uint32_t len) {
+  const Outcome off = run_write(false, nodes, src_n, dst_n, len);
+  const Outcome on = run_write(true, nodes, src_n, dst_n, len);
+  EXPECT_EQ(off.status, Status::kOk);
+  EXPECT_EQ(on.status, Status::kOk);
+  EXPECT_EQ(on.dst, off.dst);
+  EXPECT_EQ(on.dst, payload(len));
+  // The whole point: same simulated physics, not merely "close".
+  EXPECT_EQ(on.local_done, off.local_done);
+  EXPECT_EQ(on.remote_done, off.remote_done);
+  // And the reason to have the path at all: fewer kernel events.
+  EXPECT_LT(on.events, off.events);
+}
+
+TEST(FluidRdma, WriteConformsOnSingleSwitch) {
+  ModelParams defaults;
+  expect_write_conformant(2, 0, 1, 3 * defaults.mtu + 517);
+}
+
+TEST(FluidRdma, WriteConformsOnFatTree) {
+  // > 8 nodes routes through the quaternary fat tree: multi-hop link
+  // occupancy must fold into the train identically.
+  expect_write_conformant(16, 0, 13, 64 * 1024 + 13);
+}
+
+TEST(FluidRdma, WriteConformsOnLoopback) {
+  ModelParams defaults;
+  expect_write_conformant(2, 0, 0, 2 * defaults.mtu + 77);
+}
+
+TEST(FluidRdma, ReadConformsOnSwitchAndFatTree) {
+  for (const auto& [nodes, owner, reader] :
+       {std::tuple{2, 1, 0}, std::tuple{16, 9, 2}}) {
+    const std::uint32_t len = 5 * 2048 + 301;
+    const Outcome off = run_read(false, nodes, owner, reader, len);
+    const Outcome on = run_read(true, nodes, owner, reader, len);
+    EXPECT_EQ(off.status, Status::kOk);
+    EXPECT_EQ(on.status, Status::kOk);
+    EXPECT_EQ(on.dst, off.dst);
+    EXPECT_EQ(on.dst, payload(len));
+    EXPECT_EQ(on.local_done, off.local_done);
+    EXPECT_LT(on.events, off.events);
+  }
+}
+
+TEST(FluidRdma, SingleFragmentTransfersAreLeftAlone) {
+  // len <= mtu is not a train; the knob must not change anything at all.
+  const Outcome off = run_write(false, 2, 0, 1, 1024);
+  const Outcome on = run_write(true, 2, 0, 1, 1024);
+  EXPECT_EQ(on.dst, off.dst);
+  EXPECT_EQ(on.local_done, off.local_done);
+  EXPECT_EQ(on.remote_done, off.remote_done);
+  EXPECT_EQ(on.events, off.events);
+}
+
+TEST(FluidRdma, ArmedFaultProfileForcesFallback) {
+  // With corruption armed the injector is not quiescent, so the fluid knob
+  // must be inert: identical bytes, identical times, identical event count,
+  // and — critically — the identical RNG-driven corruption schedule.
+  const std::uint32_t len = 6 * 2048;
+  const Outcome off = run_write(false, 2, 0, 1, len, /*corrupt_prob=*/0.5);
+  const Outcome on = run_write(true, 2, 0, 1, len, /*corrupt_prob=*/0.5);
+  EXPECT_GT(off.corruptions, 0u);  // the profile actually fired (seeded)
+  EXPECT_EQ(on.corruptions, off.corruptions);
+  EXPECT_EQ(on.dst, off.dst);
+  EXPECT_EQ(on.local_done, off.local_done);
+  EXPECT_EQ(on.remote_done, off.remote_done);
+  EXPECT_EQ(on.events, off.events);
+}
+
+TEST(FluidMpi, RendezvousPingpongTimingIdentical) {
+  // Full-stack conformance: a long-message MPI pingpong (rendezvous, RDMA
+  // trains under the PML) must finish at the exact same simulated time with
+  // the fast path on. pin_transport keeps CI env sweeps from varying the
+  // transport between the two runs.
+  auto final_time = [](bool fluid) {
+    ModelParams p;
+    p.fluid_bulk = fluid;
+    test::TestBed bed(2, 1, p);
+    bed.pin_transport = true;
+    int verified = 0;
+    const sim::Time t = bed.run_mpi(2, [&](mpi::World& w) {
+      auto& c = w.comm();
+      const std::size_t bytes = 256 * 1024;
+      std::vector<std::uint8_t> buf(bytes, 0xA5);
+      if (c.rank() == 0) {
+        c.send(buf.data(), bytes, dtype::byte_type(), 1, 7);
+        c.recv(buf.data(), bytes, dtype::byte_type(), 1, 8);
+      } else {
+        std::vector<std::uint8_t> in(bytes, 0);
+        c.recv(in.data(), bytes, dtype::byte_type(), 0, 7);
+        EXPECT_EQ(in, buf);
+        c.send(in.data(), bytes, dtype::byte_type(), 0, 8);
+      }
+      c.barrier();
+      ++verified;
+    });
+    EXPECT_EQ(verified, 2);
+    return t;
+  };
+  const sim::Time off = final_time(false);
+  const sim::Time on = final_time(true);
+  EXPECT_GT(off, 0u);
+  EXPECT_EQ(on, off);
+}
+
+}  // namespace
+}  // namespace oqs::elan4

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 namespace oqs::sim {
@@ -125,6 +126,60 @@ TEST(Engine, DeepFiberStackSurvives) {
   e.spawn("deep", [&] { depth = rec(1500); });
   e.run();
   EXPECT_EQ(depth, 1500);
+}
+
+TEST(Engine, NestedRunFromFiberDefersReap) {
+  Engine e;
+  bool inner_done = false;
+  std::size_t held_during_outer = 0;
+  e.spawn("outer", [&] {
+    e.spawn("inner", [&] { inner_done = true; });
+    e.run_until(e.now() + 100);
+    // The inner fiber finished inside the nested run, but freeing its stack
+    // must wait until the engine loop owns the host stack again: the reap is
+    // deferred, so both fibers are still held here.
+    held_during_outer = e.fiber_count();
+  });
+  e.run();
+  EXPECT_TRUE(inner_done);
+  EXPECT_EQ(held_during_outer, 2u);
+  EXPECT_EQ(e.fiber_count(), 0u);
+}
+
+TEST(Engine, StackPoolReusesReapedStacks) {
+  Engine e;
+  e.spawn("a", [] {});
+  e.run();
+  EXPECT_EQ(e.stacks_allocated(), 1u);
+  EXPECT_EQ(e.pooled_stacks(), 1u);
+  e.spawn("b", [] {});
+  e.run();
+  EXPECT_EQ(e.stacks_allocated(), 1u);  // recycled, not freshly allocated
+  EXPECT_EQ(e.pooled_stacks(), 1u);
+}
+
+TEST(Engine, StackCanaryDetectsOverflow) {
+  Engine e;
+  Fiber* f = e.spawn("clobber", [] {});
+  // Simulate an overflow: scribble the canary region at the stack bottom.
+  std::memset(f->stack_base_for_test(), 0, kStackCanaryBytes);
+  e.run();
+  EXPECT_EQ(e.stack_canary_violations(), 1u);
+  EXPECT_EQ(e.pooled_stacks(), 0u);  // a violated stack is never reused
+}
+
+TEST(Engine, StackSizeKnobClampsAndDropsStalePool) {
+  Engine e;
+  e.set_stack_bytes(1);  // clamped to the floor
+  EXPECT_EQ(e.stack_bytes(), 64u * 1024);
+  e.spawn("small", [] {});
+  e.run();
+  EXPECT_EQ(e.pooled_stacks(), 1u);
+  e.set_stack_bytes(128 * 1024);  // pooled stacks of the old size are dropped
+  EXPECT_EQ(e.pooled_stacks(), 0u);
+  e.spawn("larger", [] {});
+  e.run();
+  EXPECT_EQ(e.stacks_allocated(), 2u);
 }
 
 }  // namespace

@@ -19,6 +19,11 @@ namespace oqs::test {
 //                     a small value forces multi-fragment schedules on
 //                     every long message in the suite
 //   OQS_TEST_DEPTH=N  pipelined-rendezvous per-rail depth override
+//   OQS_TEST_FLUID=1  enable the fluid bulk-transfer fast path
+//                     (ModelParams::fluid_bulk) for every TestBed. The path
+//                     is timing-conformant in the uncontended model, so the
+//                     whole suite must pass unchanged; only tests pinning a
+//                     dispatch-order digest need to opt out.
 //   OQS_TEST_COLL=M   force a collectives mode for every routed collective:
 //                     p2p (reference algorithms only), nic (NIC combining
 //                     tree for barrier/allreduce), hier (hierarchical, p2p
@@ -33,6 +38,11 @@ inline int env_rails() {
 
 inline bool env_tcp() {
   const char* v = std::getenv("OQS_TEST_TCP");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+inline bool env_fluid() {
+  const char* v = std::getenv("OQS_TEST_FLUID");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
@@ -92,6 +102,9 @@ struct TestBed {
   explicit TestBed(int nodes = 8, int rails = 1, ModelParams p = {})
       : params(p) {
     if (rails < env_rails()) rails = env_rails();
+    // A model knob, not a transport option: it must be set before the QsNet
+    // exists, so pin_transport (read at run_mpi time) cannot gate it.
+    if (env_fluid()) params.fluid_bulk = true;
     net = std::make_unique<elan4::QsNet>(engine, params, nodes, 64, rails);
     rt = std::make_unique<rte::Runtime>(engine, *net);
   }
