@@ -38,6 +38,9 @@ MetricRegistry::Snapshot MetricRegistry::snapshot() const {
     s[name + ".count"] = h->stats().count();
     s[name + ".mean"] = static_cast<std::uint64_t>(h->stats().mean());
     s[name + ".max"] = static_cast<std::uint64_t>(h->stats().max());
+    s[name + ".p50"] = static_cast<std::uint64_t>(h->percentile(0.50));
+    s[name + ".p95"] = static_cast<std::uint64_t>(h->percentile(0.95));
+    s[name + ".p99"] = static_cast<std::uint64_t>(h->percentile(0.99));
   }
   return s;
 }

@@ -56,14 +56,28 @@ class Gauge {
   std::int64_t hiwater_ = 0;
 };
 
+// Keeps running moments AND the full sample set: workload tail-latency
+// reporting needs real quantiles, and histogram call sites are per-op (not
+// per-packet), so retaining samples is cheap relative to the simulation
+// state behind them.
 class Histogram {
  public:
-  void add(double x) { acc_.add(x); }
+  void add(double x) {
+    acc_.add(x);
+    samples_.add(x);
+  }
   const sim::Accumulator& stats() const { return acc_; }
-  void reset() { acc_.reset(); }
+  // Quantile of the recorded samples, p in [0,1]; 0.0 when empty.
+  double percentile(double p) const { return samples_.percentile(p); }
+  const sim::Samples& samples() const { return samples_; }
+  void reset() {
+    acc_.reset();
+    samples_ = sim::Samples{};
+  }
 
  private:
   sim::Accumulator acc_;
+  sim::Samples samples_;
 };
 
 class MetricRegistry {
@@ -76,7 +90,8 @@ class MetricRegistry {
   Histogram& histogram(const std::string& name);
 
   // Flat name -> value view. Gauges export "<name>" (level) and
-  // "<name>.hiwater"; histograms export ".count", ".mean", ".max".
+  // "<name>.hiwater"; histograms export ".count", ".mean", ".max" and the
+  // quantiles ".p50", ".p95", ".p99" (values truncated to integers).
   using Snapshot = std::map<std::string, std::uint64_t>;
   Snapshot snapshot() const;
   // Per-name difference `after - before` (names absent from `before` count

@@ -68,6 +68,8 @@ class Samples {
     return v_[lo] * (1.0 - frac) + v_[hi] * frac;
   }
   double median() const { return percentile(0.5); }
+  // Raw samples (unspecified order); lets callers merge sample sets.
+  const std::vector<double>& values() const { return v_; }
   double mean() const {
     if (v_.empty()) return 0.0;
     double sum = 0.0;

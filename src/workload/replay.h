@@ -1,0 +1,76 @@
+// Trace replay engine: execute workload traces over the full MPI stack.
+//
+// The interpreter runs one rank's op list through a Communicator, charging
+// compute to the rank's node CPU and driving every transfer through the
+// real PML/BML/PTL path — faults, multirail striping, and collectives
+// algorithms all apply. Payloads are deterministic functions of
+// (seed, src, dst, tag), so every byte that lands is verified against the
+// oracle in place: a Report with verify_failures == 0 *is* the conformance
+// statement (halo cells came from the stencil's neighbor, allreduce equals
+// the serial reduction, the shuffle permutation completed).
+//
+// Reporting: per-op latency samples (communication ops; compute kept in a
+// separate bucket), payload bytes delivered, job makespan, and a replay
+// digest — a per-rank FNV-1a fold of (op index, kind, bytes, completion
+// time) combined in rank order, so two same-seed runs of one scenario must
+// produce the same digest regardless of fiber interleaving. Latencies are
+// also published to obs::MetricRegistry histograms
+// (workload.<name>.op_ns / .compute_ns, counters .bytes / .ops /
+// .verify_failures), whose snapshots export p50/p95/p99.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/mpi.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+#include "workload/trace.h"
+
+namespace oqs::workload {
+
+struct ReplayOptions {
+  std::uint64_t seed = 1;        // payload/oracle seed
+  bool verify = true;            // fill + check every landed payload
+  bool publish_metrics = true;   // mirror into obs::metrics()
+};
+
+struct Report {
+  sim::Samples op_us;       // per communication op latency (us), all ranks
+  sim::Samples p2p_us;      // send/recv/sendrecv subset
+  sim::Samples coll_us;     // barrier/bcast/allreduce/alltoall subset
+  sim::Samples compute_us;  // compute blocks
+  std::uint64_t bytes_moved = 0;  // payload bytes delivered to this job
+  std::uint64_t ops_replayed = 0;
+  std::uint64_t verify_failures = 0;
+  sim::Time t_begin = ~sim::Time{0};  // earliest rank start (sim ns)
+  sim::Time t_end = 0;                // latest rank finish (sim ns)
+  std::vector<std::uint64_t> rank_digests;  // per-rank replay fingerprints
+
+  // Order-independent combination of the per-rank streams (folded in rank
+  // order): the job's replay fingerprint.
+  std::uint64_t digest() const;
+  // Delivered payload over the job makespan, MB/s (1 MB/s == 1 byte/us).
+  double goodput_mbps() const;
+  sim::Time makespan_ns() const {
+    return t_end > t_begin ? t_end - t_begin : 0;
+  }
+};
+
+// Replay trace.ranks[comm.rank()] on `comm` (comm.size() must equal
+// trace.nranks()). Call from inside the MPI process body; every rank of
+// `comm` must call it with the same trace and options. `report` (shared
+// across the job's ranks; the sim is single-threaded) accumulates.
+void replay_rank(mpi::World& w, mpi::Communicator& comm, const Trace& trace,
+                 const ReplayOptions& opt, Report* report);
+
+// Multi-job interference scenario: partition the world into consecutive
+// rank blocks — world ranks [0, jobs[0]->nranks()) replay jobs[0], the
+// next block jobs[1], ... — split the communicator accordingly, and replay
+// each job over its slice while all jobs share the fabric. The block sizes
+// must sum to the world size. Returns this rank's job index;
+// (*reports)[j] accumulates job j (resized on first use).
+int replay_jobs(mpi::World& w, const std::vector<const Trace*>& jobs,
+                const ReplayOptions& opt, std::vector<Report>* reports);
+
+}  // namespace oqs::workload

@@ -1,0 +1,134 @@
+#include "workload/skeleton.h"
+
+#include <cassert>
+
+namespace oqs::workload {
+
+namespace {
+
+// Largest divisor of n that is <= sqrt(n).
+int split_near_sqrt(int n) {
+  int best = 1;
+  for (int d = 1; d * d <= n; ++d)
+    if (n % d == 0) best = d;
+  return best;
+}
+
+}  // namespace
+
+Grid2 factor2(int n) {
+  assert(n >= 1);
+  Grid2 g;
+  g.py = split_near_sqrt(n);
+  g.px = n / g.py;
+  return g;
+}
+
+Grid3 factor3(int n) {
+  assert(n >= 1);
+  Grid3 g;
+  // Peel the most-cubic divisor off for pz, then split the rest in 2D.
+  int best = 1;
+  for (int d = 1; d * d * d <= n; ++d)
+    if (n % d == 0) best = d;
+  g.pz = best;
+  const Grid2 g2 = factor2(n / best);
+  g.px = g2.px;
+  g.py = g2.py;
+  return g;
+}
+
+Trace make_stencil(const StencilConfig& cfg) {
+  const int n = cfg.px * cfg.py * cfg.pz;
+  assert(n >= 1 && cfg.px >= 1 && cfg.py >= 1 && cfg.pz >= 1);
+  Trace t;
+  t.name = cfg.pz > 1 ? "stencil3d" : "stencil2d";
+  t.ranks.resize(static_cast<std::size_t>(n));
+
+  // rank = (z * py + y) * px + x
+  auto rank_of = [&](int x, int y, int z) {
+    return (z * cfg.py + y) * cfg.px + x;
+  };
+  auto wrap = [](int v, int m) { return (v % m + m) % m; };
+
+  for (int z = 0; z < cfg.pz; ++z)
+    for (int y = 0; y < cfg.py; ++y)
+      for (int x = 0; x < cfg.px; ++x) {
+        auto& ops = t.ranks[static_cast<std::size_t>(rank_of(x, y, z))];
+        for (int it = 0; it < cfg.iters; ++it) {
+          if (cfg.compute_ns > 0)
+            ops.push_back({OpKind::kCompute, cfg.compute_ns});
+          // One shift per direction: everyone sends toward dir and
+          // receives from the opposite neighbor. An axis of extent 1 would
+          // shift to self, which the torus stencil has no data for — skip.
+          const int dirs[6][3] = {{+1, 0, 0}, {-1, 0, 0}, {0, +1, 0},
+                                  {0, -1, 0}, {0, 0, +1}, {0, 0, -1}};
+          const int extents[6] = {cfg.px, cfg.px, cfg.py,
+                                  cfg.py, cfg.pz, cfg.pz};
+          for (int d = 0; d < 6; ++d) {
+            if (extents[d] < 2) continue;
+            const int dst = rank_of(wrap(x + dirs[d][0], cfg.px),
+                                    wrap(y + dirs[d][1], cfg.py),
+                                    wrap(z + dirs[d][2], cfg.pz));
+            const int src = rank_of(wrap(x - dirs[d][0], cfg.px),
+                                    wrap(y - dirs[d][1], cfg.py),
+                                    wrap(z - dirs[d][2], cfg.pz));
+            Op op;
+            op.kind = OpKind::kSendRecv;
+            op.peer = dst;
+            op.bytes = cfg.halo_bytes;
+            op.peer2 = src;
+            op.bytes2 = cfg.halo_bytes;
+            op.tag = it * 6 + d;
+            ops.push_back(op);
+          }
+        }
+      }
+  return t;
+}
+
+Trace make_training(const TrainingConfig& cfg) {
+  assert(cfg.ranks >= 1);
+  Trace t;
+  t.name = "train";
+  t.ranks.resize(static_cast<std::size_t>(cfg.ranks));
+  for (auto& ops : t.ranks) {
+    Op bcast;
+    bcast.kind = OpKind::kBcast;
+    bcast.peer = 0;
+    bcast.bytes = cfg.grad_bytes;
+    ops.push_back(bcast);
+    for (int s = 0; s < cfg.steps; ++s) {
+      if (cfg.compute_ns > 0)
+        ops.push_back({OpKind::kCompute, cfg.compute_ns});
+      Op ar;
+      ar.kind = OpKind::kAllreduce;
+      ar.bytes = cfg.grad_bytes;
+      ops.push_back(ar);
+    }
+  }
+  return t;
+}
+
+Trace make_shuffle(const ShuffleConfig& cfg) {
+  assert(cfg.ranks >= 1);
+  Trace t;
+  t.name = "shuffle";
+  t.ranks.resize(static_cast<std::size_t>(cfg.ranks));
+  for (auto& ops : t.ranks) {
+    for (int r = 0; r < cfg.rounds; ++r) {
+      if (cfg.compute_ns > 0)
+        ops.push_back({OpKind::kCompute, cfg.compute_ns});
+      Op a2a;
+      a2a.kind = OpKind::kAlltoall;
+      a2a.bytes = cfg.bytes_per_pair;
+      ops.push_back(a2a);
+      Op bar;
+      bar.kind = OpKind::kBarrier;
+      ops.push_back(bar);
+    }
+  }
+  return t;
+}
+
+}  // namespace oqs::workload

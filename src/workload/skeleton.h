@@ -1,0 +1,60 @@
+// Synthetic application skeletons, expressed as workload traces.
+//
+// Each generator emits the communication/compute pattern of an application
+// class the microbenchmarks cannot represent — overlapping peers, shared
+// links, alternating compute and communication — as a plain Trace, so the
+// replay engine measures the real PML/BML/PTL stack under it. Patterns
+// follow the skeleton-app literature (see PAPERS.md: *Asynchronous MPI for
+// the Masses*, *MPI Progress For All*): what matters is the traffic shape,
+// not the numerics, so compute is a pure core-occupancy cost.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/trace.h"
+
+namespace oqs::workload {
+
+// Near-square/cubic process grids for a given rank count; every factor is
+// >= 1 and the product is exactly n.
+struct Grid2 { int px = 1, py = 1; };
+struct Grid3 { int px = 1, py = 1, pz = 1; };
+Grid2 factor2(int n);
+Grid3 factor3(int n);
+
+// Iterative stencil on a periodic process torus: per iteration one compute
+// block, then one sendrecv shift per direction (+/- along each axis), halo
+// payloads of halo_bytes. 2D uses 4 neighbors, 3D uses 6 (an axis of
+// extent 1 contributes no shifts). Tags encode (iteration, direction) so
+// matching is unambiguous under arbitrary interleaving.
+struct StencilConfig {
+  int px = 1, py = 1, pz = 1;       // process grid; px*py*pz ranks
+  int iters = 8;
+  std::uint64_t halo_bytes = 8192;
+  std::uint64_t compute_ns = 20000;
+};
+Trace make_stencil(const StencilConfig& cfg);
+
+// Data-parallel training cadence: one bcast of the initial parameters,
+// then per step a compute block (forward+backward) followed by a
+// grad_bytes allreduce.
+struct TrainingConfig {
+  int ranks = 2;
+  int steps = 8;
+  std::uint64_t grad_bytes = 262144;
+  std::uint64_t compute_ns = 50000;
+};
+Trace make_training(const TrainingConfig& cfg);
+
+// All-to-all shuffle (map/reduce repartition): per round a small compute
+// block, a personalized all-to-all of bytes_per_pair per (src,dst) pair,
+// and a barrier separating rounds.
+struct ShuffleConfig {
+  int ranks = 2;
+  int rounds = 4;
+  std::uint64_t bytes_per_pair = 16384;
+  std::uint64_t compute_ns = 5000;
+};
+Trace make_shuffle(const ShuffleConfig& cfg);
+
+}  // namespace oqs::workload

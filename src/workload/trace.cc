@@ -1,0 +1,226 @@
+#include "workload/trace.h"
+
+#include <sstream>
+
+namespace oqs::workload {
+
+namespace {
+
+const char* op_word(OpKind k) {
+  switch (k) {
+    case OpKind::kCompute: return "compute";
+    case OpKind::kSend: return "send";
+    case OpKind::kRecv: return "recv";
+    case OpKind::kSendRecv: return "sendrecv";
+    case OpKind::kBarrier: return "barrier";
+    case OpKind::kBcast: return "bcast";
+    case OpKind::kAllreduce: return "allreduce";
+    case OpKind::kAlltoall: return "alltoall";
+  }
+  return "?";
+}
+
+struct Parser {
+  explicit Parser(std::istream& s) : is(s) {}
+  std::istream& is;
+  int lineno = 0;
+  std::string line;
+
+  // Next significant line (blank lines and # comments skipped) into
+  // `line`; false at EOF.
+  bool next() {
+    while (std::getline(is, line)) {
+      ++lineno;
+      const auto pos = line.find_first_not_of(" \t");
+      if (pos == std::string::npos) continue;
+      if (line[pos] == '#') continue;
+      if (pos > 0) line.erase(0, pos);
+      return true;
+    }
+    return false;
+  }
+
+  std::string fail(const std::string& what) const {
+    return "line " + std::to_string(lineno) + ": " + what;
+  }
+};
+
+// Split on whitespace.
+std::vector<std::string> tokens(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string t;
+  while (is >> t) out.push_back(t);
+  return out;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* v) {
+  if (s.empty()) return false;
+  std::uint64_t acc = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    acc = acc * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *v = acc;
+  return true;
+}
+
+bool parse_rank(const std::string& s, int nranks, int* v) {
+  std::uint64_t u = 0;
+  if (!parse_u64(s, &u) || u >= static_cast<std::uint64_t>(nranks)) return false;
+  *v = static_cast<int>(u);
+  return true;
+}
+
+}  // namespace
+
+std::string serialize(const Trace& t) {
+  std::ostringstream os;
+  os << "oqs-trace v1 ranks " << t.nranks() << " name " << t.name << "\n";
+  for (int r = 0; r < t.nranks(); ++r) {
+    const auto& ops = t.ranks[static_cast<std::size_t>(r)];
+    os << "rank " << r << " ops " << ops.size() << "\n";
+    for (const Op& op : ops) {
+      os << op_word(op.kind);
+      switch (op.kind) {
+        case OpKind::kCompute: os << " " << op.cost_ns; break;
+        case OpKind::kSend:
+        case OpKind::kRecv:
+          os << " " << op.peer << " " << op.bytes << " " << op.tag;
+          break;
+        case OpKind::kSendRecv:
+          os << " " << op.peer << " " << op.bytes << " " << op.peer2 << " "
+             << op.bytes2 << " " << op.tag;
+          break;
+        case OpKind::kBarrier: break;
+        case OpKind::kBcast: os << " " << op.peer << " " << op.bytes; break;
+        case OpKind::kAllreduce:
+        case OpKind::kAlltoall: os << " " << op.bytes; break;
+      }
+      os << "\n";
+    }
+    os << "end\n";
+  }
+  os << "end trace\n";
+  return os.str();
+}
+
+LoadResult load(std::istream& is) {
+  LoadResult res;
+  Parser p{is};
+
+  // Header: oqs-trace v1 ranks <N> name <name>
+  if (!p.next()) {
+    res.error = "empty input: missing 'oqs-trace v1' header";
+    return res;
+  }
+  auto tk = tokens(p.line);
+  std::uint64_t nranks = 0;
+  if (tk.size() < 6 || tk[0] != "oqs-trace" || tk[1] != "v1" ||
+      tk[2] != "ranks" || !parse_u64(tk[3], &nranks) || nranks == 0 ||
+      tk[4] != "name") {
+    res.error = p.fail("bad header (want: oqs-trace v1 ranks <N> name <name>)");
+    return res;
+  }
+  res.trace.name = tk[5];
+  res.trace.ranks.resize(nranks);
+  const int n = static_cast<int>(nranks);
+
+  for (int r = 0; r < n; ++r) {
+    // rank <r> ops <K>
+    if (!p.next()) {
+      res.error = "truncated trace: expected 'rank " + std::to_string(r) +
+                  " ops <K>' before end of input";
+      return res;
+    }
+    tk = tokens(p.line);
+    std::uint64_t rr = 0, nops = 0;
+    if (tk.size() != 4 || tk[0] != "rank" || !parse_u64(tk[1], &rr) ||
+        tk[2] != "ops" || !parse_u64(tk[3], &nops)) {
+      res.error = p.fail("malformed rank header (want: rank <r> ops <K>)");
+      return res;
+    }
+    if (rr != static_cast<std::uint64_t>(r)) {
+      res.error = p.fail("rank sections out of order: got rank " +
+                         std::to_string(rr) + ", want " + std::to_string(r));
+      return res;
+    }
+    auto& ops = res.trace.ranks[static_cast<std::size_t>(r)];
+    ops.reserve(nops);
+    for (std::uint64_t i = 0; i < nops; ++i) {
+      if (!p.next()) {
+        res.error = "truncated trace: rank " + std::to_string(r) + " declares " +
+                    std::to_string(nops) + " ops, input ended after " +
+                    std::to_string(i);
+        return res;
+      }
+      tk = tokens(p.line);
+      const std::string& w = tk[0];
+      Op op;
+      bool ok = false;
+      if (w == "compute") {
+        op.kind = OpKind::kCompute;
+        ok = tk.size() == 2 && parse_u64(tk[1], &op.cost_ns);
+      } else if (w == "send" || w == "recv") {
+        op.kind = w == "send" ? OpKind::kSend : OpKind::kRecv;
+        std::uint64_t tag = 0;
+        ok = tk.size() == 4 && parse_rank(tk[1], n, &op.peer) &&
+             parse_u64(tk[2], &op.bytes) && parse_u64(tk[3], &tag);
+        op.tag = static_cast<int>(tag);
+      } else if (w == "sendrecv") {
+        op.kind = OpKind::kSendRecv;
+        std::uint64_t tag = 0;
+        ok = tk.size() == 6 && parse_rank(tk[1], n, &op.peer) &&
+             parse_u64(tk[2], &op.bytes) && parse_rank(tk[3], n, &op.peer2) &&
+             parse_u64(tk[4], &op.bytes2) && parse_u64(tk[5], &tag);
+        op.tag = static_cast<int>(tag);
+      } else if (w == "barrier") {
+        op.kind = OpKind::kBarrier;
+        ok = tk.size() == 1;
+      } else if (w == "bcast") {
+        op.kind = OpKind::kBcast;
+        ok = tk.size() == 3 && parse_rank(tk[1], n, &op.peer) &&
+             parse_u64(tk[2], &op.bytes);
+      } else if (w == "allreduce" || w == "alltoall") {
+        op.kind = w == "allreduce" ? OpKind::kAllreduce : OpKind::kAlltoall;
+        ok = tk.size() == 2 && parse_u64(tk[1], &op.bytes);
+      } else if (w.rfind("x-", 0) == 0) {
+        // Extension op from a newer recorder: counts toward the section's
+        // declared total but replays as nothing.
+        ++res.skipped_ops;
+        continue;
+      } else {
+        res.error = p.fail("unknown op '" + w + "'");
+        return res;
+      }
+      if (!ok) {
+        res.error = p.fail("malformed '" + w + "' op: '" + p.line + "'");
+        return res;
+      }
+      ops.push_back(op);
+    }
+    // end
+    if (!p.next() || p.line != "end") {
+      res.error = p.lineno == 0 || is.eof()
+                      ? "truncated trace: rank " + std::to_string(r) +
+                            " section missing 'end'"
+                      : p.fail("expected 'end' closing rank " +
+                               std::to_string(r) + " section");
+      return res;
+    }
+  }
+  // end trace
+  if (!p.next() || tokens(p.line) != std::vector<std::string>{"end", "trace"}) {
+    res.error = "truncated trace: missing 'end trace' terminator";
+    return res;
+  }
+  res.ok = true;
+  return res;
+}
+
+LoadResult load_string(const std::string& text) {
+  std::istringstream is(text);
+  return load(is);
+}
+
+}  // namespace oqs::workload

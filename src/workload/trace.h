@@ -1,0 +1,89 @@
+// Time-independent workload traces (SimGrid SMPI replay style).
+//
+// A Trace is one op list per rank: compute blocks, point-to-point
+// transfers, and collectives, with no timestamps — the replay engine
+// (workload/replay.h) re-derives all timing from the simulated stack, so
+// the same trace measures any protocol/rail/fault configuration. Traces
+// come from two equivalent sources: the programmatic skeleton generators
+// (workload/skeleton.h) and the text loader below, so recorded traces and
+// synthetic ones run through one interpreter.
+//
+// Text format (one trace per file):
+//   oqs-trace v1 ranks <N> name <name>
+//   rank <r> ops <K>
+//   compute <ns>
+//   send <peer> <bytes> <tag>
+//   recv <peer> <bytes> <tag>
+//   sendrecv <dst> <send_bytes> <src> <recv_bytes> <tag>
+//   barrier
+//   bcast <root> <bytes>
+//   allreduce <bytes>
+//   alltoall <bytes>
+//   end
+//   ...one `rank` section per rank, in rank order...
+//   end trace
+//
+// Blank lines and `#` comments are ignored. Op names starting with "x-"
+// are extension ops: a v1 loader skips them (they count toward the
+// section's declared op count), so future recorders can annotate traces
+// without breaking old replayers. Any other unknown op, malformed line,
+// or missing `end` / `end trace` terminator is a hard error naming the
+// line — a truncated trace must never replay as a shorter workload.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace oqs::workload {
+
+enum class OpKind : std::uint8_t {
+  kCompute,    // occupy a host core for cost_ns
+  kSend,       // blocking send of bytes to peer, tag
+  kRecv,       // blocking recv of bytes from peer, tag
+  kSendRecv,   // shift: send bytes to peer / recv bytes2 from peer2, tag
+  kBarrier,    //
+  kBcast,      // root = peer, payload = bytes
+  kAllreduce,  // element-wise double sum over bytes/8 elements
+  kAlltoall,   // personalized exchange, bytes per (src,dst) pair
+};
+
+struct Op {
+  OpKind kind = OpKind::kCompute;
+  std::uint64_t cost_ns = 0;  // kCompute
+  std::uint64_t bytes = 0;    // payload (send size for kSendRecv)
+  std::uint64_t bytes2 = 0;   // kSendRecv recv size
+  int peer = -1;              // send dst / recv src / sendrecv dst / bcast root
+  int peer2 = -1;             // kSendRecv recv source
+  int tag = 0;
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+struct Trace {
+  std::string name = "trace";
+  std::vector<std::vector<Op>> ranks;  // ranks[r] = rank r's op list
+
+  int nranks() const { return static_cast<int>(ranks.size()); }
+  std::uint64_t total_ops() const {
+    std::uint64_t n = 0;
+    for (const auto& r : ranks) n += r.size();
+    return n;
+  }
+};
+
+// Emit the text form above; load(serialize(t)) reproduces t exactly.
+std::string serialize(const Trace& t);
+
+struct LoadResult {
+  bool ok = false;
+  std::string error;             // "line 12: ..." when !ok
+  Trace trace;                   // valid only when ok
+  std::uint64_t skipped_ops = 0; // "x-" extension ops dropped by this loader
+};
+
+LoadResult load(std::istream& is);
+LoadResult load_string(const std::string& text);
+
+}  // namespace oqs::workload

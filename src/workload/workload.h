@@ -1,0 +1,12 @@
+// Umbrella header for the workload replay engine.
+//
+//   workload::Trace      time-independent per-rank op lists + text format
+//   workload::make_*     synthetic application skeleton generators
+//   workload::replay_*   the interpreter over the full MPI stack
+//
+// See DESIGN.md §Workload replay.
+#pragma once
+
+#include "workload/replay.h"
+#include "workload/skeleton.h"
+#include "workload/trace.h"

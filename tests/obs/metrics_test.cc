@@ -77,6 +77,60 @@ TEST(Registry, HistogramExportsSummary) {
   EXPECT_EQ(s.at("lat.max"), 3u);
 }
 
+TEST(Registry, HistogramExportsQuantiles) {
+  MetricRegistry r;
+  Histogram& h = r.histogram("lat");
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  const auto s = r.snapshot();
+  EXPECT_EQ(s.at("lat.p50"), 50u);  // linear interpolation over 1..100
+  EXPECT_EQ(s.at("lat.p95"), 95u);
+  EXPECT_EQ(s.at("lat.p99"), 99u);
+  EXPECT_LE(s.at("lat.p50"), s.at("lat.p95"));
+  EXPECT_LE(s.at("lat.p95"), s.at("lat.p99"));
+  EXPECT_LE(s.at("lat.p99"), s.at("lat.max"));
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  // n = 0: quantiles are 0, and the snapshot still exports them.
+  MetricRegistry r;
+  Histogram& h = r.histogram("empty");
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  auto s = r.snapshot();
+  EXPECT_EQ(s.at("empty.count"), 0u);
+  EXPECT_EQ(s.at("empty.p50"), 0u);
+  EXPECT_EQ(s.at("empty.p99"), 0u);
+
+  // n = 1: every quantile is the single sample.
+  h.add(42.0);
+  EXPECT_EQ(h.percentile(0.0), 42.0);
+  EXPECT_EQ(h.percentile(0.5), 42.0);
+  EXPECT_EQ(h.percentile(0.99), 42.0);
+  EXPECT_EQ(h.percentile(1.0), 42.0);
+
+  // All-equal samples: quantiles pin to the common value.
+  h.reset();
+  EXPECT_EQ(h.stats().count(), 0u);
+  for (int i = 0; i < 17; ++i) h.add(7.0);
+  EXPECT_EQ(h.percentile(0.5), 7.0);
+  EXPECT_EQ(h.percentile(0.95), 7.0);
+  EXPECT_EQ(h.percentile(0.99), 7.0);
+  s = r.snapshot();
+  EXPECT_EQ(s.at("empty.p50"), 7u);
+  EXPECT_EQ(s.at("empty.p95"), 7u);
+  EXPECT_EQ(s.at("empty.p99"), 7u);
+}
+
+TEST(Histogram, PercentilesInterleaveWithAdds) {
+  // The cached sorted view must invalidate on add(): query, add, re-query.
+  Histogram h;
+  h.add(10.0);
+  h.add(20.0);
+  EXPECT_EQ(h.percentile(1.0), 20.0);
+  h.add(30.0);
+  EXPECT_EQ(h.percentile(1.0), 30.0);
+  EXPECT_EQ(h.percentile(0.5), 20.0);
+}
+
 TEST(Registry, ToStringListsNames) {
   MetricRegistry r;
   r.counter("alpha").add(1);

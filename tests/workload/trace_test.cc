@@ -1,0 +1,143 @@
+// Trace format tests: generate -> serialize -> load round trips, clear
+// rejection of malformed and truncated inputs, and forward-compat skipping
+// of "x-" extension ops.
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/skeleton.h"
+
+namespace oqs::workload {
+namespace {
+
+TEST(TraceRoundTrip, SkeletonsSurviveSerializeLoadIdentically) {
+  StencilConfig st2;
+  st2.px = 4;
+  st2.py = 2;
+  st2.iters = 3;
+  StencilConfig st3 = st2;
+  st3.pz = 2;
+  const Trace traces[] = {
+      make_stencil(st2),
+      make_stencil(st3),
+      make_training({.ranks = 6, .steps = 4, .grad_bytes = 4096}),
+      make_shuffle({.ranks = 5, .rounds = 2, .bytes_per_pair = 512}),
+  };
+  for (const Trace& t : traces) {
+    const LoadResult r = load_string(serialize(t));
+    ASSERT_TRUE(r.ok) << t.name << ": " << r.error;
+    EXPECT_EQ(r.trace.name, t.name);
+    ASSERT_EQ(r.trace.nranks(), t.nranks());
+    EXPECT_EQ(r.skipped_ops, 0u);
+    for (int rank = 0; rank < t.nranks(); ++rank)
+      EXPECT_EQ(r.trace.ranks[rank], t.ranks[rank])
+          << t.name << " rank " << rank << " op stream changed";
+  }
+}
+
+TEST(TraceRoundTrip, CommentsAndBlankLinesIgnored) {
+  const LoadResult r = load_string(
+      "# a recorded trace\n"
+      "oqs-trace v1 ranks 1 name tiny\n"
+      "\n"
+      "rank 0 ops 2\n"
+      "  compute 500\n"
+      "# mid-stream comment\n"
+      "  barrier\n"
+      "end\n"
+      "end trace\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.trace.ranks[0].size(), 2u);
+  EXPECT_EQ(r.trace.ranks[0][0].kind, OpKind::kCompute);
+  EXPECT_EQ(r.trace.ranks[0][0].cost_ns, 500u);
+  EXPECT_EQ(r.trace.ranks[0][1].kind, OpKind::kBarrier);
+}
+
+TEST(TraceLoad, MalformedLinesRejectedWithLineNumbers) {
+  struct Case {
+    const char* body;
+    const char* expect;  // substring of the error
+  };
+  const Case cases[] = {
+      // Missing args on a known op.
+      {"oqs-trace v1 ranks 2 name t\nrank 0 ops 1\nsend 1\nend\n",
+       "malformed 'send'"},
+      // Peer out of range.
+      {"oqs-trace v1 ranks 2 name t\nrank 0 ops 1\nsend 7 64 0\nend\n",
+       "malformed 'send'"},
+      // Unknown op without the x- extension prefix.
+      {"oqs-trace v1 ranks 1 name t\nrank 0 ops 1\nteleport 3\nend\n",
+       "unknown op 'teleport'"},
+      // Bad header.
+      {"oqs-trace v2 ranks 1 name t\n", "bad header"},
+      // Non-numeric field.
+      {"oqs-trace v1 ranks 1 name t\nrank 0 ops 1\ncompute fast\nend\n",
+       "malformed 'compute'"},
+      // Rank sections out of order.
+      {"oqs-trace v1 ranks 2 name t\nrank 1 ops 0\nend\n", "out of order"},
+  };
+  for (const Case& c : cases) {
+    const LoadResult r = load_string(c.body);
+    EXPECT_FALSE(r.ok) << c.body;
+    EXPECT_NE(r.error.find(c.expect), std::string::npos)
+        << "error '" << r.error << "' does not mention '" << c.expect << "'";
+  }
+  // Errors carry the offending line number.
+  const LoadResult r = load_string(
+      "oqs-trace v1 ranks 1 name t\nrank 0 ops 2\nbarrier\nsend 0\nend\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 4"), std::string::npos) << r.error;
+}
+
+TEST(TraceLoad, TruncatedFilesRejected) {
+  const std::string full = serialize(
+      make_training({.ranks = 3, .steps = 2, .grad_bytes = 1024}));
+  std::vector<std::string> lines;
+  std::istringstream is(full);
+  for (std::string l; std::getline(is, l);) lines.push_back(l);
+  // Every proper line-prefix of a valid trace must be rejected as
+  // truncated: mid-op-list, before a rank `end`, before `end trace`.
+  for (std::size_t keep = 1; keep < lines.size(); ++keep) {
+    std::string cut;
+    for (std::size_t i = 0; i < keep; ++i) cut += lines[i] + "\n";
+    const LoadResult r = load_string(cut);
+    EXPECT_FALSE(r.ok) << "accepted " << keep << " of " << lines.size()
+                       << " lines";
+    EXPECT_NE(r.error.find("truncated"), std::string::npos)
+        << "at " << keep << " lines: " << r.error;
+  }
+}
+
+TEST(TraceLoad, UnknownExtensionOpsSkipForwardCompat) {
+  // A newer recorder annotated the stream with x- ops; this loader must
+  // drop them (they count toward the declared op total) and keep the rest.
+  const LoadResult r = load_string(
+      "oqs-trace v1 ranks 1 name future\n"
+      "rank 0 ops 4\n"
+      "compute 100\n"
+      "x-gpu-kernel 42 1024\n"
+      "x-phase-marker solve\n"
+      "barrier\n"
+      "end\n"
+      "end trace\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.skipped_ops, 2u);
+  ASSERT_EQ(r.trace.ranks[0].size(), 2u);
+  EXPECT_EQ(r.trace.ranks[0][0].kind, OpKind::kCompute);
+  EXPECT_EQ(r.trace.ranks[0][1].kind, OpKind::kBarrier);
+}
+
+TEST(TraceLoad, StreamOverloadMatchesStringOverload) {
+  const std::string text =
+      serialize(make_shuffle({.ranks = 2, .rounds = 1, .bytes_per_pair = 64}));
+  std::istringstream is(text);
+  const LoadResult a = load(is);
+  const LoadResult b = load_string(text);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.trace.ranks, b.trace.ranks);
+}
+
+}  // namespace
+}  // namespace oqs::workload
